@@ -1,0 +1,47 @@
+"""Common helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    EWMAPrefetcher,
+    HilbertPrefetcher,
+    StraightLinePrefetcher,
+)
+from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
+from repro.sim import ExperimentResult, run_experiment
+from repro.workload.sweeps import scale_factor
+
+#: Sequences per experiment cell (scaled by REPRO_SCALE).  The paper
+#: uses 30-50; the default keeps the full suite laptop-sized while
+#: remaining statistically stable at page granularity.
+BASE_SEQUENCES = 6
+
+
+def n_sequences() -> int:
+    return max(2, int(round(BASE_SEQUENCES * scale_factor())))
+
+
+def standard_prefetchers(dataset, index) -> dict[str, object]:
+    """The comparison set of Figures 11, 12 and 17."""
+    return {
+        "ewma-0.3": EWMAPrefetcher(lam=0.3),
+        "straight-line": StraightLinePrefetcher(),
+        "hilbert": HilbertPrefetcher(dataset),
+        "scout": ScoutPrefetcher(dataset, ScoutConfig()),
+    }
+
+
+def scout_only(dataset) -> ScoutPrefetcher:
+    return ScoutPrefetcher(dataset, ScoutConfig())
+
+
+def scout_opt(dataset, index) -> ScoutOptPrefetcher:
+    return ScoutOptPrefetcher(dataset, index, ScoutConfig())
+
+
+def hit_pct(result: ExperimentResult) -> float:
+    return 100.0 * result.cache_hit_rate
+
+
+def run(index, sequences, prefetcher) -> ExperimentResult:
+    return run_experiment(index, sequences, prefetcher)

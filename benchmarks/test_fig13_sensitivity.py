@@ -1,0 +1,186 @@
+"""Figure 13: sensitivity of SCOUT's accuracy to workload parameters.
+
+Six panels, each varying one parameter around the §7.4 defaults
+(25-query sequences, 80k µm³ cubes, window ratio 1).  Expected shapes:
+(a) accuracy falls with query volume; (b) roughly flat with density;
+(c) rises with sequence length; (d) rises steeply with window ratio;
+(e) robust at fine grid resolutions; (f) falls with gap distance, with
+SCOUT-OPT above SCOUT.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.core import ScoutConfig, ScoutPrefetcher
+from repro.datagen import make_neuron_tissue
+from repro.index import FlatIndex
+from repro.workload import generate_sequences
+from repro.workload.sweeps import SENSITIVITY_DEFAULTS as D, fig13_axes
+
+from conftest import BENCH_FANOUT
+from helpers import hit_pct, n_sequences, run, scout_only, scout_opt
+
+AXES = fig13_axes()
+
+
+def _sweep(tissue, index, volumes=None, lengths=None, ratios=None, resolutions=None):
+    """Generic SCOUT sweep over one workload axis."""
+    cells = []
+    if volumes is not None:
+        for volume in volumes:
+            seqs = generate_sequences(
+                tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=volume,
+                window_ratio=D.window_ratio,
+            )
+            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
+    if lengths is not None:
+        for length in lengths:
+            seqs = generate_sequences(
+                tissue, n_sequences(), seed=13, n_queries=int(length), volume=D.volume,
+                window_ratio=D.window_ratio,
+            )
+            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
+    if ratios is not None:
+        for ratio in ratios:
+            seqs = generate_sequences(
+                tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=D.volume,
+                window_ratio=ratio,
+            )
+            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
+    if resolutions is not None:
+        seqs = generate_sequences(
+            tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=D.volume,
+            window_ratio=D.window_ratio,
+        )
+        for resolution in resolutions:
+            prefetcher = ScoutPrefetcher(tissue, ScoutConfig(grid_resolution=int(resolution)))
+            cells.append(hit_pct(run(index, seqs, prefetcher)))
+    return cells
+
+
+def test_fig13a_query_volume(benchmark, tissue, tissue_index):
+    volumes = AXES["a_query_volume"]
+    cells = benchmark.pedantic(
+        _sweep, args=(tissue, tissue_index), kwargs={"volumes": volumes}, rounds=1, iterations=1
+    )
+    table = ResultTable(
+        "Fig 13a -- accuracy vs query volume [hit %]",
+        [f"{int(v/1000)}k" for v in volumes],
+        figure_id="fig13a",
+    )
+    table.add_row("scout", cells)
+    table.print()
+    # Accuracy decreases from the smallest to the largest volume.
+    assert cells[-1] < cells[0]
+
+
+def test_fig13b_density(benchmark):
+    neuron_counts = AXES["b_density_neurons"]
+
+    def sweep():
+        cells = []
+        for n_neurons in neuron_counts:
+            # Fixed tissue volume, growing object count = growing density
+            # (the paper adds 50M objects to the same 285 mm^3).
+            tissue = make_neuron_tissue(n_neurons=int(n_neurons), seed=13, extent=700.0)
+            index = FlatIndex(tissue, fanout=BENCH_FANOUT)
+            seqs = generate_sequences(
+                tissue, max(3, n_sequences() // 2), seed=13,
+                n_queries=D.n_queries, volume=D.volume, window_ratio=D.window_ratio,
+            )
+            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
+        return cells
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = ResultTable(
+        "Fig 13b -- accuracy vs dataset density [hit %]",
+        [f"{n}n" for n in neuron_counts],
+        figure_id="fig13b",
+    )
+    table.add_row("scout", cells)
+    table.print()
+    # Roughly flat: no collapse as density grows.
+    assert min(cells) > max(cells) - 25.0
+    assert min(cells) > 50.0
+
+
+def test_fig13c_sequence_length(benchmark, tissue, tissue_index):
+    lengths = AXES["c_sequence_length"]
+    cells = benchmark.pedantic(
+        _sweep, args=(tissue, tissue_index), kwargs={"lengths": lengths}, rounds=1, iterations=1
+    )
+    table = ResultTable(
+        "Fig 13c -- accuracy vs sequence length [hit %]",
+        [str(n) for n in lengths],
+        figure_id="fig13c",
+    )
+    table.add_row("scout", cells)
+    table.print()
+    # Iterative pruning pays off: long sequences beat the shortest one.
+    assert cells[-1] > cells[0]
+
+
+def test_fig13d_window_ratio(benchmark, tissue, tissue_index):
+    ratios = AXES["d_window_ratio"]
+    cells = benchmark.pedantic(
+        _sweep, args=(tissue, tissue_index), kwargs={"ratios": ratios}, rounds=1, iterations=1
+    )
+    table = ResultTable(
+        "Fig 13d -- accuracy vs prefetch window ratio [hit %]",
+        [f"{r:g}" for r in ratios],
+        figure_id="fig13d",
+    )
+    table.add_row("scout", cells)
+    table.print()
+    # Strong rise with the window: the paper reports 29% -> 88%.
+    assert cells[0] < cells[-1] - 20.0
+    assert cells == sorted(cells) or cells[1] <= cells[-1]
+
+
+def test_fig13e_grid_resolution(benchmark, tissue, tissue_index):
+    resolutions = AXES["e_grid_resolution"]
+    cells = benchmark.pedantic(
+        _sweep,
+        args=(tissue, tissue_index),
+        kwargs={"resolutions": resolutions},
+        rounds=1,
+        iterations=1,
+    )
+    table = ResultTable(
+        "Fig 13e -- accuracy vs grid resolution [hit %]",
+        [str(r) for r in resolutions],
+        figure_id="fig13e",
+    )
+    table.add_row("scout", cells)
+    table.print()
+    # The fine-resolution plateau (32768 vs 4096) holds within noise.
+    assert abs(cells[0] - cells[1]) < 12.0
+
+
+def test_fig13f_gap_distance(benchmark, tissue, tissue_index):
+    gaps = AXES["f_gap_distance"]
+
+    def sweep():
+        scout_cells, opt_cells = [], []
+        for gap in gaps:
+            seqs = generate_sequences(
+                tissue, n_sequences(), seed=13, n_queries=D.n_queries,
+                volume=D.volume, gap=gap, window_ratio=D.window_ratio,
+            )
+            scout_cells.append(hit_pct(run(tissue_index, seqs, scout_only(tissue))))
+            opt_cells.append(
+                hit_pct(run(tissue_index, seqs, scout_opt(tissue, tissue_index)))
+            )
+        return scout_cells, opt_cells
+
+    scout_cells, opt_cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = ResultTable(
+        "Fig 13f -- accuracy vs gap distance [hit %]",
+        [f"{g:g}" for g in gaps],
+        figure_id="fig13f",
+    )
+    table.add_row("scout", scout_cells)
+    table.add_row("scout-opt", opt_cells)
+    table.print()
+    # SCOUT-OPT's gap traversal keeps it on top across gap distances.
+    assert sum(opt_cells) >= sum(scout_cells)

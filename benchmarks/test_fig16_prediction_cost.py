@@ -1,0 +1,52 @@
+"""Figure 16: prediction time per result element vs position in sequence.
+
+The paper runs 50 sequences of 10 queries and shows that the prediction
+time per result element *decreases* along the sequence: iterative
+candidate pruning shrinks the subgraph that must be traversed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ResultTable
+from repro.sim import SimulationEngine
+from repro.workload import generate_sequences
+
+from helpers import n_sequences, scout_only
+
+N_QUERIES = 10
+
+
+def _per_index_costs(tissue, tissue_index):
+    engine = SimulationEngine(tissue_index)
+    sequences = generate_sequences(
+        tissue, n_sequences() * 2, seed=16, n_queries=N_QUERIES, volume=80_000.0
+    )
+    per_index = [[] for _ in range(N_QUERIES)]
+    for sequence in sequences:
+        prefetcher = scout_only(tissue)
+        metrics = engine.run(sequence, prefetcher)
+        for record in metrics.records:
+            if record.n_result_objects:
+                per_index[record.index].append(
+                    record.prediction_seconds / record.n_result_objects
+                )
+    return [float(np.mean(v)) * 1e6 if v else 0.0 for v in per_index]
+
+
+def test_fig16_prediction_cost_decreases(benchmark, tissue, tissue_index):
+    costs = benchmark.pedantic(
+        _per_index_costs, args=(tissue, tissue_index), rounds=1, iterations=1
+    )
+    table = ResultTable(
+        "Fig 16 -- prediction time per result element [µs, simulated]",
+        [str(i + 1) for i in range(N_QUERIES)],
+        figure_id="fig16",
+        precision=3,
+    )
+    table.add_row("scout", costs)
+    table.print()
+    # The tail of the sequence is cheaper per element than the head.
+    head = np.mean(costs[:3])
+    tail = np.mean(costs[-3:])
+    assert tail <= head * 1.05

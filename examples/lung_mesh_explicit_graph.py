@@ -1,0 +1,58 @@
+"""Explicit graph representations: SCOUT on a lung airway surface mesh.
+
+§4.2: when the dataset already has an underlying graph (polygon meshes
+store faces referencing shared vertices), SCOUT extracts the structure
+graph directly from the mesh adjacency and skips grid hashing entirely.
+This script compares the two construction paths on the same airway mesh
+and then runs the full prefetching pipeline on it.
+
+Run:  python examples/lung_mesh_explicit_graph.py
+"""
+
+import numpy as np
+
+from repro.baselines import EWMAPrefetcher
+from repro.core import ScoutPrefetcher
+from repro.datagen import make_lung_airways
+from repro.geometry import AABB
+from repro.graph import build_graph_explicit, build_graph_grid_hash
+from repro.index import FlatIndex
+from repro.sim import run_experiment
+from repro.workload import generate_sequences
+
+
+def main() -> None:
+    lung = make_lung_airways(seed=2)
+    print(f"Lung airway mesh: {lung.n_objects:,} triangle faces, "
+          f"{len(lung.explicit_edges):,} face-adjacency links")
+    index = FlatIndex(lung, fanout=16)
+
+    # Compare the two graph-construction paths on one query result,
+    # probing at a face centroid so the region is guaranteed non-empty.
+    probe_center = lung.centroids[lung.n_objects // 2]
+    region = AABB.cube(probe_center, float(np.prod(lung.bounds.extent)) * 1e-4)
+    result = index.query(region)
+    if result.n_objects:
+        explicit = build_graph_explicit(lung, result.object_ids)
+        hashed = build_graph_grid_hash(lung, result.object_ids, region)
+        print(f"\nOne query result ({result.n_objects} faces):")
+        print(f"  explicit mesh adjacency : {explicit.graph.n_edges:5d} edges, "
+              f"{1000 * explicit.wall_seconds:.2f} ms")
+        print(f"  grid hashing (fallback) : {hashed.graph.n_edges:5d} edges, "
+              f"{1000 * hashed.wall_seconds:.2f} ms")
+
+    volume = float(np.prod(lung.bounds.extent)) * 2e-4
+    sequences = generate_sequences(lung, n_sequences=5, seed=2, n_queries=25, volume=volume)
+    print(f"\nPrefetching along airway tracks ({len(sequences)} sequences):")
+    for prefetcher in (EWMAPrefetcher(lam=0.3), ScoutPrefetcher(lung)):
+        outcome = run_experiment(index, sequences, prefetcher)
+        print(f"  {prefetcher.name:10s}: {100 * outcome.cache_hit_rate:5.1f}% hits, "
+              f"{outcome.speedup:.2f}x speedup")
+    print(
+        "\nThe Dataset carries `explicit_edges`, so ScoutPrefetcher's graph"
+        "\nbuilder dispatches to the mesh-adjacency path automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Walkthrough visualization: watch SCOUT converge on the guiding fiber.
+
+Reproduces the paper's §3.1 "walkthrough visualization" use case: a
+neuroscientist flies along a neuron fiber issuing view-frustum queries.
+The script traces SCOUT's internals query by query -- candidate-set
+size, resets, prefetched pages, hits -- showing iterative candidate
+pruning (§4.3) converge to the one structure being followed.
+
+Run:  python examples/neuroscience_walkthrough.py
+"""
+
+from repro.core import ScoutConfig, ScoutPrefetcher
+from repro.datagen import make_neuron_tissue
+from repro.index import FlatIndex
+from repro.sim import SimulationEngine
+from repro.workload import microbenchmark
+
+
+def main() -> None:
+    tissue = make_neuron_tissue(n_neurons=40, seed=21)
+    index = FlatIndex(tissue, fanout=16)
+    spec = microbenchmark("vis_high")
+    print(f"Workload: {spec.label} ({spec.n_queries} frustum queries of "
+          f"{spec.volume:,.0f} µm³, ratio {spec.window_ratio})\n")
+
+    (sequence,) = spec.generate(tissue, n_sequences=1, seed=4)
+    scout = ScoutPrefetcher(tissue, ScoutConfig())
+    engine = SimulationEngine(index)
+    metrics = engine.run(sequence, scout)
+
+    print(f"{'query':>5s} {'result':>7s} {'cands':>6s} {'prefetch':>9s} "
+          f"{'hit':>7s} {'window ms':>10s}")
+    for record in metrics.records[:20]:
+        hit_pct = (
+            100.0 * record.objects_hit / record.objects_needed
+            if record.objects_needed
+            else 0.0
+        )
+        print(
+            f"{record.index:5d} {record.n_result_objects:7d} "
+            f"{record.n_candidates:6d} {record.prefetch_pages:9d} "
+            f"{hit_pct:6.1f}% {1000 * record.window_seconds:10.2f}"
+        )
+    print("  ... (sequence continues)")
+
+    sizes = scout.tracker.candidate_sizes
+    print(f"\ncandidate-set sizes along the sequence: {sizes[:15]} ...")
+    print(f"resets (user switched structure): {scout.tracker.resets}")
+    print(f"\nsequence cache hit rate : {100 * metrics.cache_hit_rate:.1f}%")
+    print(f"sequence speedup        : {metrics.speedup:.2f}x vs no prefetching")
+    print(
+        "\nNote how the candidate set collapses within a few queries "
+        "('oftentimes the structure followed is identified after six "
+        "queries', §4.3) and the hit rate rises once it does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""ASCII result tables printed by the figure benchmarks.
+
+Every benchmark regenerating a paper table/figure prints one
+:class:`ResultTable` whose rows mirror the paper's series, plus the
+paper's reported range where the paper gives one, so a reader can
+eyeball paper-vs-measured without opening the PDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable", "format_row", "paper_reference"]
+
+#: Shape expectations lifted from the paper's text, keyed by figure id.
+#: Values are prose, not numbers to assert on -- the harness reproduces
+#: *shapes*, not testbed-specific absolutes (see DESIGN.md §4).
+_PAPER_NOTES: dict[str, str] = {
+    "fig3": "Best baseline (EWMA 0.3) <= 44%; accuracy drops as query volume grows.",
+    "fig11a": "SCOUT wins every no-gap microbenchmark, exceeding 90% on some; ad-hoc lowest.",
+    "fig11b": "Speedups correlate with accuracy; SCOUT up to ~15x.",
+    "fig12": "With gaps SCOUT only slightly beats trajectory methods; SCOUT-OPT is clearly best.",
+    "fig13a": "Accuracy decreases gradually with query volume (speedup 9 -> 4.5).",
+    "fig13b": "Accuracy roughly flat (~80%) as density grows; speedup constant.",
+    "fig13c": "Longer sequences improve accuracy, reaching ~93% at 55 queries.",
+    "fig13d": "Accuracy rises from ~29% (ratio 0.1) to ~88% (ratio 2.5).",
+    "fig13e": "Good accuracy down to 512 grid cells, then a substantial drop.",
+    "fig13f": "Accuracy falls with gap distance; SCOUT-OPT well above SCOUT.",
+    "fig14": "Graph building ~15% of response time, prediction <= 6%, rest residual I/O.",
+    "fig15": "Graph building linear in result size; SCOUT-OPT scales better than SCOUT.",
+    "fig16": "Prediction time per result element decreases along the sequence.",
+    "fig17a": "Small queries: SCOUT best on lung/roads; EWMA (96%) beats SCOUT (90%) on arterial.",
+    "fig17b": "Large queries: SCOUT best on all three datasets (up to ~73%).",
+    "mem": "Prediction structures ~24% of result footprint for SCOUT, ~6% for SCOUT-OPT.",
+}
+
+
+def paper_reference(figure_id: str) -> str:
+    """The paper's reported shape for a figure (empty if unlisted)."""
+    return _PAPER_NOTES.get(figure_id, "")
+
+
+def format_row(label: str, values, width: int = 9, precision: int = 1) -> str:
+    """One fixed-width table row: a label column plus numeric cells."""
+    cells = []
+    for value in values:
+        if value is None:
+            cells.append(" " * width)
+        elif isinstance(value, str):
+            cells.append(value.rjust(width))
+        else:
+            cells.append(f"{value:{width}.{precision}f}")
+    return f"{label:<28s}" + "".join(cells)
+
+
+@dataclass
+class ResultTable:
+    """A labelled grid of results with column headers."""
+
+    title: str
+    columns: list[str]
+    figure_id: str = ""
+    rows: list[tuple[str, list]] = field(default_factory=list)
+    precision: int = 1
+
+    def add_row(self, label: str, values) -> None:
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append((label, values))
+
+    def render(self) -> str:
+        width = max(9, max((len(c) for c in self.columns), default=9) + 1)
+        lines = [f"== {self.title} =="]
+        note = paper_reference(self.figure_id)
+        if note:
+            lines.append(f"paper: {note}")
+        lines.append(format_row("", self.columns, width=width))
+        for label, values in self.rows:
+            lines.append(format_row(label, values, width=width, precision=self.precision))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+    def cell(self, row_label: str, column: str):
+        """Look up one value (for assertions in the bench tests)."""
+        column_index = self.columns.index(column)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[column_index]
+        raise KeyError(f"no row {row_label!r} in table {self.title!r}")

@@ -1,0 +1,158 @@
+"""The prefetcher protocol shared by SCOUT and every baseline.
+
+The simulator drives prefetchers through three calls per sequence step
+(mirroring the paper's Figure-2 timeline):
+
+1. :meth:`Prefetcher.observe` -- the query just executed, with its
+   bounds and result object ids (content-aware methods use the content;
+   position-only methods just record the center).
+2. :meth:`Prefetcher.prediction_cost_seconds` -- the simulated CPU time
+   of the prediction computation, charged against the prefetch window.
+3. :meth:`Prefetcher.plan` -- prioritized :class:`PrefetchTarget`\\ s.
+   The simulator expands each target into incremental prefetch queries
+   (§5.1) and reads pages until the window budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+__all__ = ["ObservedQuery", "Prefetcher", "PrefetchTarget"]
+
+
+@dataclass(frozen=True)
+class ObservedQuery:
+    """What a prefetcher learns about one executed query."""
+
+    index: int
+    bounds: AABB
+    result_object_ids: np.ndarray
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.bounds.center
+
+    @property
+    def side(self) -> float:
+        """Characteristic edge length of the query region."""
+        return float(np.cbrt(max(self.bounds.volume, 1e-30)))
+
+
+@dataclass(frozen=True)
+class PrefetchTarget:
+    """One predicted location to prefetch around.
+
+    ``anchor`` is where prefetching starts (the predicted entry point of
+    the next query); ``direction`` the axis along which incremental
+    prefetch queries advance; ``share`` the fraction of the window
+    budget allotted (shares are normalized by the simulator).  When
+    ``regions`` is set, the target prefetches those explicit regions in
+    order instead of expanding incrementally (used by grid-cell-based
+    baselines like Hilbert and Layered).
+    """
+
+    anchor: np.ndarray
+    direction: np.ndarray
+    share: float = 1.0
+    regions: tuple[AABB, ...] | None = None
+
+    def __post_init__(self) -> None:
+        anchor = np.asarray(self.anchor, dtype=np.float64)
+        direction = np.asarray(self.direction, dtype=np.float64)
+        norm = np.linalg.norm(direction)
+        if norm > 0:
+            direction = direction / norm
+        object.__setattr__(self, "anchor", anchor)
+        object.__setattr__(self, "direction", direction)
+        if self.share < 0:
+            raise ValueError("share must be non-negative")
+
+
+class Prefetcher(abc.ABC):
+    """Base class of all prefetching strategies."""
+
+    #: Short identifier used in result tables.
+    name: str = "base"
+
+    def begin_sequence(self) -> None:
+        """Reset per-sequence state (called before each query sequence)."""
+
+    @abc.abstractmethod
+    def observe(self, observed: ObservedQuery) -> None:
+        """Ingest the query that just executed."""
+
+    @abc.abstractmethod
+    def plan(self) -> list[PrefetchTarget]:
+        """Prefetch targets for the upcoming window, highest priority first."""
+
+    def prediction_cost_seconds(self) -> float:
+        """Simulated CPU cost of the last prediction (0 for trivial ones)."""
+        return 0.0
+
+    def graph_build_cost_seconds(self) -> float:
+        """Portion of the prediction cost spent building the graph.
+
+        Only content-aware prefetchers (SCOUT) report a non-zero value;
+        the simulator records it for the Fig-14 breakdown.
+        """
+        return 0.0
+
+    def gap_io_pages(self) -> list[int]:
+        """Pages the predictor itself wants fetched (SCOUT-OPT gap traversal).
+
+        The simulator reads these within the prefetch window *before*
+        processing targets; they are prediction I/O, not result data.
+        """
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class PositionOnlyPrefetcher(Prefetcher):
+    """Common bookkeeping for baselines that only use query positions."""
+
+    def __init__(self) -> None:
+        self._centers: list[np.ndarray] = []
+        self._sides: list[float] = []
+
+    def begin_sequence(self) -> None:
+        self._centers = []
+        self._sides = []
+
+    def observe(self, observed: ObservedQuery) -> None:
+        self._centers.append(observed.center)
+        self._sides.append(observed.side)
+
+    @property
+    def last_side(self) -> float:
+        return self._sides[-1] if self._sides else 1.0
+
+    def _target_at(self, predicted_center: np.ndarray, direction: np.ndarray) -> PrefetchTarget:
+        """A target prefetching concentric regions around the predicted center.
+
+        Trajectory-extrapolation methods prefetch *around the predicted
+        location* (§2.2); growing concentric regions let a short window
+        cover the most likely data first.  (Boundary-anchored incremental
+        expansion along the structure is SCOUT's own §5.1 technique and
+        is deliberately not granted to the baselines.)
+        """
+        from repro.geometry.aabb import AABB
+
+        direction = np.asarray(direction, dtype=np.float64)
+        norm = np.linalg.norm(direction)
+        if norm > 0:
+            direction = direction / norm
+        side = self.last_side
+        regions = tuple(
+            AABB.from_center_extent(predicted_center, side * factor)
+            for factor in (0.6, 0.85, 1.1)
+        )
+        return PrefetchTarget(
+            anchor=predicted_center, direction=direction, share=1.0, regions=regions
+        )

@@ -1,0 +1,57 @@
+"""Layered baseline (Zhang & You [31], paper §2.1).
+
+The simplest static method: segment the data into a grid and prefetch
+all grid cells surrounding the current one.  With 26 neighbors in 3D it
+spends the window uniformly in every direction; its hit rate is bounded
+by the fraction of the neighborhood the next query actually lands in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ObservedQuery, Prefetcher, PrefetchTarget
+from repro.datagen.dataset import Dataset
+from repro.geometry.grid import UniformGrid
+
+__all__ = ["LayeredPrefetcher"]
+
+
+class LayeredPrefetcher(Prefetcher):
+    """Prefetch every grid cell surrounding the current location."""
+
+    name = "layered"
+
+    def __init__(self, dataset: Dataset, cells_per_axis: int = 16) -> None:
+        if cells_per_axis < 2:
+            raise ValueError("cells_per_axis must be >= 2")
+        self.dataset = dataset
+        bounds = dataset.bounds.inflate(1e-6)
+        shape = (
+            (cells_per_axis, cells_per_axis, 1)
+            if dataset.dims == 2
+            else (cells_per_axis, cells_per_axis, cells_per_axis)
+        )
+        self.grid = UniformGrid(bounds, shape)
+        self._last_center: np.ndarray | None = None
+
+    def begin_sequence(self) -> None:
+        self._last_center = None
+
+    def observe(self, observed: ObservedQuery) -> None:
+        self._last_center = observed.center
+
+    def plan(self) -> list[PrefetchTarget]:
+        if self._last_center is None:
+            return []
+        current = self.grid.cell_of_point(self._last_center)
+        neighbors = self.grid.neighbors(current)
+        if not neighbors:
+            return []
+        # Nearest-first so a short window still covers the most likely cells.
+        center = self._last_center
+        neighbors.sort(key=lambda c: float(np.linalg.norm(self.grid.cell_center(c) - center)))
+        regions = tuple(self.grid.cell_bounds(c) for c in neighbors)
+        return [
+            PrefetchTarget(anchor=center, direction=np.zeros(3), share=1.0, regions=regions)
+        ]

@@ -1,0 +1,68 @@
+"""Command-line entry point: run one experiment cell from the shell.
+
+Examples::
+
+    scout-repro --prefetcher scout --benchmark adhoc_stat
+    scout-repro --prefetcher ewma --benchmark model_building --sequences 10
+    scout-repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.quickstart import quick_experiment
+from repro.workload import MICROBENCHMARKS
+
+__all__ = ["main"]
+
+_PREFETCHERS = ["scout", "scout-opt", "ewma", "straight-line", "hilbert", "none"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro",
+        description="Run a SCOUT-reproduction experiment cell on synthetic neuron tissue.",
+    )
+    parser.add_argument("--prefetcher", choices=_PREFETCHERS, default="scout")
+    parser.add_argument(
+        "--benchmark",
+        choices=sorted(MICROBENCHMARKS),
+        default="adhoc_stat",
+        help="Figure-10 microbenchmark to run",
+    )
+    parser.add_argument("--neurons", type=int, default=40, help="tissue size in neurons")
+    parser.add_argument("--sequences", type=int, default=5, help="query sequences to run")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--list", action="store_true", help="list benchmarks and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name, spec in MICROBENCHMARKS.items():
+            print(
+                f"{name:16s} {spec.label:42s} queries={spec.n_queries:3d} "
+                f"volume={spec.volume:9.0f} gap={spec.gap:4.1f} ratio={spec.window_ratio:.1f}"
+            )
+        return 0
+
+    result = quick_experiment(
+        prefetcher=args.prefetcher,
+        benchmark=args.benchmark,
+        n_neurons=args.neurons,
+        n_sequences=args.sequences,
+        seed=args.seed,
+    )
+    print(f"prefetcher      : {result.prefetcher_name}")
+    print(f"benchmark       : {args.benchmark}")
+    print(f"sequences       : {result.metrics.n_sequences}")
+    print(f"cache hit rate  : {100 * result.cache_hit_rate:.1f}%")
+    print(f"speedup         : {result.speedup:.2f}x vs no prefetching")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""SCOUT: the structure-aware prefetcher (paper §4-§6).
+
+The pipeline per query: build an approximate proximity graph of the
+result (:mod:`repro.graph`), split it into connected components (the
+structures present in the query), prune the candidate set by matching
+components against the candidates of the previous query (§4.3), find
+where each surviving candidate exits the query region (§4.4), and
+prefetch incrementally along the linear extrapolation of those exits
+(§5).  SCOUT-OPT (§6) additionally exploits a neighborhood-aware index
+for sparse graph construction and gap traversal.
+"""
+
+from repro.core.config import ScoutConfig
+from repro.core.candidates import CandidateTrack, CandidateTracker
+from repro.core.kmeans import kmeans
+from repro.core.scout import ScoutPrefetcher
+from repro.core.scout_opt import ScoutOptPrefetcher
+
+__all__ = [
+    "CandidateTrack",
+    "CandidateTracker",
+    "ScoutConfig",
+    "ScoutOptPrefetcher",
+    "ScoutPrefetcher",
+    "kmeans",
+]

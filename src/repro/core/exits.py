@@ -1,0 +1,62 @@
+"""Exit/entry classification of boundary crossings (paper §4.3-§4.4).
+
+A structure crossing the query boundary does so either on the side the
+user came from (an *entry*: it connects to the previous query) or on the
+far side (an *exit*: a place the user may go next).  The classifier uses
+the observed movement direction of the sequence; for the first query no
+movement exists and every crossing is a potential exit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import Crossing
+
+__all__ = ["split_entries_exits", "estimate_gap"]
+
+_EPS = 1e-12
+
+
+def split_entries_exits(
+    crossings: list[Crossing],
+    region_center: np.ndarray,
+    movement: np.ndarray | None,
+) -> tuple[list[Crossing], list[Crossing]]:
+    """Partition crossings into ``(entries, exits)``.
+
+    A crossing is an exit when it lies on the leading half of the query
+    region relative to the movement direction, or -- for crossings near
+    the dividing plane -- when the structure's outward direction points
+    with the movement.  Without movement information everything is an
+    exit (first query of a sequence: the user may go anywhere).
+    """
+    if movement is None or np.linalg.norm(movement) < _EPS:
+        return [], list(crossings)
+    forward = movement / np.linalg.norm(movement)
+    entries: list[Crossing] = []
+    exits: list[Crossing] = []
+    for crossing in crossings:
+        offset = float((crossing.point - region_center) @ forward)
+        heading = float(crossing.direction @ forward)
+        # Positional test dominates; the heading breaks near-plane ties.
+        score = offset + 0.25 * heading * np.linalg.norm(crossing.point - region_center)
+        if score > 0:
+            exits.append(crossing)
+        else:
+            entries.append(crossing)
+    return entries, exits
+
+
+def estimate_gap(centers: list[np.ndarray], side: float) -> float:
+    """Estimated boundary-to-boundary gap of the next query (§5.3).
+
+    The paper uses the distance between the last two queries as the
+    prediction for the next gap; gaps are "typically governed by a
+    particular characteristic of the use case ... and remain the same
+    throughout a sequence".
+    """
+    if len(centers) < 2:
+        return 0.0
+    spacing = float(np.linalg.norm(centers[-1] - centers[-2]))
+    return max(0.0, spacing - side)

@@ -1,0 +1,33 @@
+"""Synthetic spatial datasets with ground-truth guiding structures.
+
+The paper evaluates on four datasets that we cannot redistribute (Blue
+Brain tissue, a pig-heart arterial tree, a human lung airway mesh, the
+North-America road network).  Each generator here produces a synthetic
+stand-in with the *topological* properties SCOUT's behaviour depends on
+-- bifurcation rate, tortuosity, object density -- plus the ground-truth
+navigation graph that the workload generator random-walks to produce
+guided query sequences (the prefetchers never see that ground truth).
+"""
+
+from repro.datagen.dataset import Dataset, NavEdge, NavigationGraph, Polyline
+from repro.datagen.branching import BranchingConfig, grow_tree
+from repro.datagen.io import load_dataset, save_dataset
+from repro.datagen.neuron import make_neuron_tissue
+from repro.datagen.vascular import make_arterial_tree
+from repro.datagen.lung import make_lung_airways
+from repro.datagen.roads import make_road_network
+
+__all__ = [
+    "BranchingConfig",
+    "Dataset",
+    "NavEdge",
+    "NavigationGraph",
+    "Polyline",
+    "grow_tree",
+    "load_dataset",
+    "make_arterial_tree",
+    "make_lung_airways",
+    "make_neuron_tissue",
+    "make_road_network",
+    "save_dataset",
+]

@@ -1,0 +1,178 @@
+"""Stochastic branching-process generator.
+
+All three biological datasets in the paper (neuron fibers, arterial
+trees, lung airways) are trees of tubular branches that wander through
+space and bifurcate.  This module grows such trees: a branch is a random
+walk with direction persistence and per-step angular jitter; at its end
+it either terminates or bifurcates into two children whose directions
+fan out by a configurable angle.  The jitter magnitude is the knob that
+separates "smooth artery" (where polynomial extrapolation shines, Fig
+17a) from "tortuous neuron fiber" (where it fails, Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.dataset import NavEdge, Polyline
+
+__all__ = ["BranchingConfig", "TreeGeometry", "grow_tree"]
+
+
+@dataclass(frozen=True)
+class BranchingConfig:
+    """Parameters of one grown tree."""
+
+    n_stems: int = 2
+    max_depth: int = 4
+    steps_per_branch: tuple[int, int] = (10, 18)
+    step_length: float = 4.0
+    direction_jitter: float = 0.30
+    bifurcation_angle: float = 0.6
+    bifurcation_probability: float = 1.0
+    radius_root: float = 1.2
+    radius_decay: float = 0.8
+
+    #: Probability per step of an abrupt turn by ``kink_angle`` radians.
+    #: Real fiber trajectories (dendrites, bronchi) are not smooth random
+    #: walks -- they take sharp turns, which is what defeats trajectory
+    #: extrapolation in the paper's Figure 3.
+    kink_probability: float = 0.0
+    kink_angle: float = 1.0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.steps_per_branch
+        if not (1 <= lo <= hi):
+            raise ValueError("steps_per_branch must satisfy 1 <= lo <= hi")
+        if self.n_stems < 1 or self.max_depth < 0:
+            raise ValueError("n_stems must be >= 1 and max_depth >= 0")
+        if self.step_length <= 0 or self.radius_root <= 0:
+            raise ValueError("step_length and radius_root must be positive")
+        if not 0.0 <= self.bifurcation_probability <= 1.0:
+            raise ValueError("bifurcation_probability must be in [0, 1]")
+        if not 0.0 <= self.kink_probability <= 1.0:
+            raise ValueError("kink_probability must be in [0, 1]")
+
+
+@dataclass
+class TreeGeometry:
+    """Everything produced by growing one tree.
+
+    ``p0``/``p1``/``radius`` describe the cylinders; ``branch_of_object``
+    maps each cylinder to its branch; ``nav_nodes``/``nav_edges`` are the
+    junction graph contribution (node indices are local to this tree).
+    """
+
+    p0: np.ndarray
+    p1: np.ndarray
+    radius: np.ndarray
+    branch_of_object: np.ndarray
+    nav_nodes: np.ndarray
+    nav_edges: list[NavEdge]
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return np.array([0.0, 0.0, 1.0])
+    return vector / norm
+
+
+def _perturb(direction: np.ndarray, jitter: float, rng: np.random.Generator) -> np.ndarray:
+    """Jitter a unit direction by a Gaussian angular perturbation."""
+    return _unit(direction + jitter * rng.normal(size=3))
+
+
+def _random_perpendicular(direction: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random unit vector perpendicular to ``direction``."""
+    while True:
+        candidate = rng.normal(size=3)
+        perp = candidate - (candidate @ direction) * direction
+        norm = np.linalg.norm(perp)
+        if norm > 1e-8:
+            return perp / norm
+
+
+def _rotate_towards(direction: np.ndarray, axis: np.ndarray, angle: float) -> np.ndarray:
+    """Tilt ``direction`` by ``angle`` radians towards the perpendicular ``axis``."""
+    return _unit(np.cos(angle) * direction + np.sin(angle) * axis)
+
+
+def grow_tree(
+    rng: np.random.Generator,
+    root: np.ndarray,
+    initial_direction: np.ndarray,
+    config: BranchingConfig,
+    branch_id_offset: int = 0,
+) -> TreeGeometry:
+    """Grow one branching tree rooted at ``root``.
+
+    Every branch contributes one navigation edge (its polyline) between
+    its start and end junction nodes, and one cylinder object per step.
+    """
+    root = np.asarray(root, dtype=np.float64)
+    initial_direction = _unit(np.asarray(initial_direction, dtype=np.float64))
+
+    p0_list: list[np.ndarray] = []
+    p1_list: list[np.ndarray] = []
+    radius_list: list[float] = []
+    branch_list: list[int] = []
+    nav_nodes: list[np.ndarray] = [root]
+    nav_edges: list[NavEdge] = []
+
+    next_branch_id = branch_id_offset
+
+    # Work queue of branches to grow: (start_node_index, direction, depth, radius).
+    queue: list[tuple[int, np.ndarray, int, float]] = []
+    for stem in range(config.n_stems):
+        if config.n_stems == 1:
+            direction = initial_direction
+        else:
+            direction = _perturb(initial_direction, 1.0, rng)
+        queue.append((0, direction, 0, config.radius_root))
+
+    while queue:
+        start_node, direction, depth, radius = queue.pop()
+        branch_id = next_branch_id
+        next_branch_id += 1
+
+        position = nav_nodes[start_node].copy()
+        polyline_points = [position.copy()]
+        steps = int(rng.integers(config.steps_per_branch[0], config.steps_per_branch[1] + 1))
+        for _ in range(steps):
+            direction = _perturb(direction, config.direction_jitter, rng)
+            if config.kink_probability > 0 and rng.random() < config.kink_probability:
+                axis = _random_perpendicular(direction, rng)
+                direction = _rotate_towards(direction, axis, config.kink_angle)
+            new_position = position + direction * config.step_length
+            p0_list.append(position.copy())
+            p1_list.append(new_position.copy())
+            radius_list.append(radius)
+            branch_list.append(branch_id)
+            polyline_points.append(new_position.copy())
+            position = new_position
+
+        end_node = len(nav_nodes)
+        nav_nodes.append(position.copy())
+        nav_edges.append(NavEdge(start_node, end_node, Polyline(np.array(polyline_points))))
+
+        bifurcates = (
+            depth < config.max_depth and rng.random() < config.bifurcation_probability
+        )
+        if bifurcates:
+            axis = _random_perpendicular(direction, rng)
+            child_radius = radius * config.radius_decay
+            for sign in (1.0, -1.0):
+                child_dir = _rotate_towards(direction, sign * axis, config.bifurcation_angle / 2.0)
+                queue.append((end_node, child_dir, depth + 1, child_radius))
+
+    return TreeGeometry(
+        p0=np.array(p0_list),
+        p1=np.array(p1_list),
+        radius=np.array(radius_list),
+        branch_of_object=np.array(branch_list, dtype=np.int64),
+        nav_nodes=np.array(nav_nodes),
+        nav_edges=nav_edges,
+    )

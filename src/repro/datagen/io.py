@@ -1,0 +1,84 @@
+"""Dataset persistence: save/load to a single ``.npz`` file.
+
+Generating large synthetic tissues is the slowest step of an experiment
+session; persisting them lets benchmark runs and notebooks share one
+instance.  The navigation graph is flattened into arrays (node
+positions, edge endpoints, concatenated polyline points with offsets) so
+everything round-trips through one compressed numpy archive.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset, NavEdge, NavigationGraph, Polyline
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset (objects + ground truth) to ``path`` (.npz)."""
+    path = Path(path)
+    nav = dataset.nav
+    edge_uv = np.array([[e.u, e.v] for e in nav.edges], dtype=np.int64).reshape(-1, 2)
+    polyline_points = (
+        np.concatenate([e.polyline.points for e in nav.edges])
+        if nav.edges
+        else np.empty((0, 3))
+    )
+    offsets = np.zeros(len(nav.edges) + 1, dtype=np.int64)
+    for i, edge in enumerate(nav.edges):
+        offsets[i + 1] = offsets[i] + len(edge.polyline.points)
+
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "name": np.array(dataset.name),
+        "dims": np.int64(dataset.dims),
+        "p0": dataset.p0,
+        "p1": dataset.p1,
+        "radius": dataset.radius,
+        "structure_id": dataset.structure_id,
+        "branch_id": dataset.branch_id,
+        "nav_nodes": nav.nodes,
+        "nav_edge_uv": edge_uv,
+        "nav_polyline_points": polyline_points,
+        "nav_polyline_offsets": offsets,
+    }
+    if dataset.explicit_edges is not None:
+        payload["explicit_edges"] = dataset.explicit_edges
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        offsets = archive["nav_polyline_offsets"]
+        points = archive["nav_polyline_points"]
+        edges = [
+            NavEdge(int(u), int(v), Polyline(points[offsets[i] : offsets[i + 1]]))
+            for i, (u, v) in enumerate(archive["nav_edge_uv"])
+        ]
+        nav = NavigationGraph(archive["nav_nodes"], edges)
+        explicit = archive["explicit_edges"] if "explicit_edges" in archive else None
+        return Dataset(
+            name=str(archive["name"]),
+            p0=archive["p0"],
+            p1=archive["p1"],
+            radius=archive["radius"],
+            structure_id=archive["structure_id"],
+            branch_id=archive["branch_id"],
+            nav=nav,
+            dims=int(archive["dims"]),
+            explicit_edges=explicit,
+        )

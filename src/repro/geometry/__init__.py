@@ -1,0 +1,39 @@
+"""Geometric primitives used throughout the SCOUT reproduction.
+
+Everything operates on plain numpy arrays: points are ``(3,)`` float
+arrays, point sets are ``(n, 3)``, and axis-aligned boxes are
+:class:`~repro.geometry.aabb.AABB` value objects.  All helpers are
+vectorized so the simulator can process query results with thousands of
+objects per step without Python-level loops.
+"""
+
+from repro.geometry.aabb import AABB, aabbs_intersect_arrays, union_all
+from repro.geometry.primitives import (
+    Segment,
+    clip_segment_to_aabb,
+    point_segment_distance,
+    segment_aabb_intersects,
+    segment_lengths,
+    segment_segment_distance,
+    segments_aabb_mask,
+)
+from repro.geometry.frustum import Frustum
+from repro.geometry.hilbert import hilbert_decode, hilbert_encode
+from repro.geometry.grid import UniformGrid
+
+__all__ = [
+    "AABB",
+    "Frustum",
+    "Segment",
+    "UniformGrid",
+    "aabbs_intersect_arrays",
+    "clip_segment_to_aabb",
+    "hilbert_decode",
+    "hilbert_encode",
+    "point_segment_distance",
+    "segment_aabb_intersects",
+    "segment_lengths",
+    "segment_segment_distance",
+    "segments_aabb_mask",
+    "union_all",
+]

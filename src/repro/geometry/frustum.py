@@ -1,0 +1,145 @@
+"""View frusta for the walkthrough-visualization workloads.
+
+The paper's visualization microbenchmarks issue *view frustum culling*
+queries: truncated pyramids oriented along the navigation direction
+(Figure 10 lists "Frustum" as the aspect-ratio of those workloads).  A
+frustum here is parameterized by an apex-side (near) rectangle, a far
+rectangle, a center, an axis, and a depth; the defining property is that
+it narrows toward the viewer.
+
+Spatial indexes only understand AABBs, so a frustum exposes its enclosing
+AABB for page lookups plus exact point/AABB tests for refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+__all__ = ["Frustum"]
+
+_EPS = 1e-12
+
+
+def _orthonormal_basis(axis: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A right-handed basis whose third vector is ``axis`` (normalized)."""
+    w = np.asarray(axis, dtype=np.float64)
+    norm = np.linalg.norm(w)
+    if norm < _EPS:
+        raise ValueError("frustum axis must be non-zero")
+    w = w / norm
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(w @ helper) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = np.cross(w, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(w, u)
+    return u, v, w
+
+
+@dataclass(frozen=True)
+class Frustum:
+    """A truncated square pyramid pointing along ``axis``.
+
+    ``near_center`` is the center of the near (small) face; the far face
+    lies at ``near_center + depth * axis``.  ``near_half`` and
+    ``far_half`` are the half side lengths of the two square faces
+    (``near_half <= far_half``).
+    """
+
+    near_center: np.ndarray
+    axis: np.ndarray
+    depth: float
+    near_half: float
+    far_half: float
+
+    def __post_init__(self) -> None:
+        near_center = np.asarray(self.near_center, dtype=np.float64)
+        u, v, w = _orthonormal_basis(self.axis)
+        if self.depth <= 0:
+            raise ValueError("frustum depth must be positive")
+        if self.near_half < 0 or self.far_half < self.near_half:
+            raise ValueError("frustum requires 0 <= near_half <= far_half")
+        object.__setattr__(self, "near_center", near_center)
+        object.__setattr__(self, "axis", w)
+        object.__setattr__(self, "_u", u)
+        object.__setattr__(self, "_v", v)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_volume(cls, center, direction, volume: float, taper: float = 0.5) -> "Frustum":
+        """A frustum of the requested volume centered on ``center``.
+
+        ``taper`` is the ratio near/far side length.  The frustum depth
+        equals its far side length, which keeps the shape cube-like and
+        comparable to the paper's cube queries of the same volume.  The
+        exact frustum volume is ``depth/3 * (A_near + A_far +
+        sqrt(A_near*A_far))`` and we solve for the far side.
+        """
+        if not 0.0 < taper <= 1.0:
+            raise ValueError(f"taper must be in (0, 1], got {taper}")
+        if volume <= 0:
+            raise ValueError("frustum volume must be positive")
+        # With s = far side, near side = taper*s, depth = s:
+        # V = s/3 * (s^2*taper^2 + s^2 + s^2*taper) = s^3/3 * (1 + taper + taper^2)
+        shape_factor = (1.0 + taper + taper * taper) / 3.0
+        far_side = (float(volume) / shape_factor) ** (1.0 / 3.0)
+        depth = far_side
+        center = np.asarray(center, dtype=np.float64)
+        _, _, w = _orthonormal_basis(direction)
+        near_center = center - w * (depth / 2.0)
+        return cls(near_center, w, depth, taper * far_side / 2.0, far_side / 2.0)
+
+    # -- measures ---------------------------------------------------------
+
+    @property
+    def far_center(self) -> np.ndarray:
+        return self.near_center + self.axis * self.depth
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.near_center + self.axis * (self.depth / 2.0)
+
+    @property
+    def volume(self) -> float:
+        area_near = (2.0 * self.near_half) ** 2
+        area_far = (2.0 * self.far_half) ** 2
+        return self.depth / 3.0 * (area_near + area_far + np.sqrt(area_near * area_far))
+
+    def _half_at(self, t: np.ndarray) -> np.ndarray:
+        """Half side length of the cross-section at axial parameter ``t``."""
+        return self.near_half + (self.far_half - self.near_half) * t
+
+    # -- predicates -------------------------------------------------------
+
+    def contains_points(self, points) -> np.ndarray:
+        """Exact containment mask for an ``(n, 3)`` point array."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        rel = points - self.near_center
+        along = rel @ self.axis
+        t = along / self.depth
+        inside_axis = (t >= 0.0) & (t <= 1.0)
+        half = self._half_at(np.clip(t, 0.0, 1.0))
+        u_coord = np.abs(rel @ self._u)
+        v_coord = np.abs(rel @ self._v)
+        return inside_axis & (u_coord <= half) & (v_coord <= half)
+
+    def contains_point(self, point) -> bool:
+        return bool(self.contains_points(np.asarray(point)[None, :])[0])
+
+    def corners(self) -> np.ndarray:
+        """The 8 corner points (4 near + 4 far) as an ``(8, 3)`` array."""
+        pts = []
+        for center, half in ((self.near_center, self.near_half), (self.far_center, self.far_half)):
+            for su in (-1.0, 1.0):
+                for sv in (-1.0, 1.0):
+                    pts.append(center + su * half * self._u + sv * half * self._v)
+        return np.array(pts)
+
+    def bounding_aabb(self) -> AABB:
+        """The tightest AABB enclosing the frustum (used for index lookups)."""
+        return AABB.from_points(self.corners())

@@ -1,0 +1,82 @@
+"""Common interface of the spatial indexes.
+
+An index partitions the dataset's objects into disk pages (4 KB, 87
+objects in the paper's configuration) and answers axis-aligned range
+queries with both the matching object ids and the page ids that must be
+fetched to produce them.  The simulator charges I/O for the *pages*; the
+prefetchers reason about the *objects*.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+from repro.geometry.aabb import AABB
+from repro.storage.page import PageTable
+
+__all__ = ["QueryResult", "SpatialIndex", "PAGE_FANOUT"]
+
+#: Objects per 4 KB page, as configured in §7.1.
+PAGE_FANOUT = 87
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a range query.
+
+    ``object_ids`` are the objects whose geometry intersects the query
+    region; ``page_ids`` are all pages the index had to touch (a page
+    may contribute no matching object but still costs a read).
+    """
+
+    object_ids: np.ndarray
+    page_ids: np.ndarray
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.object_ids)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_ids)
+
+
+class SpatialIndex(abc.ABC):
+    """Page-organized spatial index over a :class:`Dataset`."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self.page_table: PageTable = self._build()
+
+    @abc.abstractmethod
+    def _build(self) -> PageTable:
+        """Partition the dataset into pages and build search structures."""
+
+    @abc.abstractmethod
+    def pages_for_region(self, region: AABB) -> np.ndarray:
+        """Sorted page ids whose bounds intersect ``region``."""
+
+    @abc.abstractmethod
+    def page_bounds(self, page_id: int) -> AABB:
+        """The AABB of a page's contents."""
+
+    # -- shared query logic --------------------------------------------------
+
+    def query(self, region: AABB) -> QueryResult:
+        """Exact range query: pages touched plus objects intersecting."""
+        pages = self.pages_for_region(region)
+        if len(pages) == 0:
+            return QueryResult(np.empty(0, dtype=np.int64), pages)
+        candidates = np.concatenate([self.page_table.objects_of_page(int(p)) for p in pages])
+        lo = self.dataset.obj_lo[candidates]
+        hi = self.dataset.obj_hi[candidates]
+        mask = np.all((lo <= region.hi) & (hi >= region.lo), axis=1)
+        return QueryResult(np.sort(candidates[mask]), pages)
+
+    @property
+    def n_pages(self) -> int:
+        return self.page_table.n_pages

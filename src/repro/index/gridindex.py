@@ -1,0 +1,95 @@
+"""Uniform grid index.
+
+Used by the Layered baseline [Zhang & You] -- which "segments the
+spatial data into a grid and prefetches all surrounding grid cells" --
+and by Hilbert-Prefetch [Park & Kim], which orders the same cells by
+Hilbert value.  Each non-empty grid cell maps to one or more pages
+(cells holding more than a page's worth of objects are split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+from repro.geometry.aabb import AABB
+from repro.geometry.grid import UniformGrid
+from repro.index.base import PAGE_FANOUT, SpatialIndex
+from repro.storage.page import PageTable
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex(SpatialIndex):
+    """Grid-bucketed pages with cell-id lookups for the baselines."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        fanout: int = PAGE_FANOUT,
+        cells_per_axis: int | None = None,
+    ) -> None:
+        self.fanout = fanout
+        self._requested_cells_per_axis = cells_per_axis
+        super().__init__(dataset)
+
+    def _build(self) -> PageTable:
+        dataset = self.dataset
+        bounds = dataset.bounds.inflate(1e-6)
+        if self._requested_cells_per_axis is None:
+            # Aim for cells holding roughly one page worth of objects.
+            n_cells_target = max(1, dataset.n_objects // self.fanout)
+            grid = UniformGrid.with_cell_count(bounds, n_cells_target)
+        else:
+            k = self._requested_cells_per_axis
+            shape = (k, k, 1) if dataset.dims == 2 else (k, k, k)
+            grid = UniformGrid(bounds, shape)
+        self.grid = grid
+
+        cell_coords = grid.cells_of_points(dataset.centroids)
+        flat = grid.flat_ids(cell_coords)
+        order = np.argsort(flat, kind="stable")
+
+        pages: list[np.ndarray] = []
+        self._pages_of_cell: dict[int, list[int]] = {}
+        self._cell_of_page: list[int] = []
+        start = 0
+        sorted_flat = flat[order]
+        while start < len(order):
+            end = start
+            cell_id = int(sorted_flat[start])
+            while end < len(order) and sorted_flat[end] == cell_id:
+                end += 1
+            members = order[start:end]
+            for chunk_start in range(0, len(members), self.fanout):
+                chunk = members[chunk_start : chunk_start + self.fanout]
+                self._pages_of_cell.setdefault(cell_id, []).append(len(pages))
+                self._cell_of_page.append(cell_id)
+                pages.append(np.asarray(chunk, dtype=np.int64))
+            start = end
+
+        self._page_lo = np.array([dataset.obj_lo[p].min(axis=0) for p in pages])
+        self._page_hi = np.array([dataset.obj_hi[p].max(axis=0) for p in pages])
+        return PageTable(pages)
+
+    # -- SpatialIndex API ------------------------------------------------------
+
+    def pages_for_region(self, region: AABB) -> np.ndarray:
+        hits = np.all((self._page_lo <= region.hi) & (self._page_hi >= region.lo), axis=1)
+        return np.flatnonzero(hits).astype(np.int64)
+
+    def page_bounds(self, page_id: int) -> AABB:
+        return AABB(self._page_lo[page_id], self._page_hi[page_id])
+
+    # -- cell-oriented API used by the baselines -----------------------------------
+
+    def pages_of_cell(self, cell_coords: tuple[int, int, int]) -> list[int]:
+        """Pages storing the objects of one grid cell (possibly empty)."""
+        return list(self._pages_of_cell.get(self.grid.flat_id(cell_coords), []))
+
+    def cell_of_page(self, page_id: int) -> tuple[int, int, int]:
+        return self.grid.unflatten(self._cell_of_page[page_id])
+
+    def occupied_cells(self) -> list[int]:
+        """Flat ids of cells containing at least one object."""
+        return sorted(self._pages_of_cell.keys())

@@ -1,0 +1,169 @@
+"""STR bulk-loaded R-tree (Leutenegger et al., ICDE 1997).
+
+The paper's baseline index (§7.1): 4 KB pages, 87 objects per page,
+bulk-loaded at 100 % fill with Sort-Tile-Recursive packing.  STR sorts
+object centers by x, tiles into vertical slabs, sorts each slab by y,
+tiles again, then sorts by z and cuts leaf pages -- producing leaves
+that are spatially compact and, crucially for the disk model, laid out
+on disk in a spatially coherent page order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+from repro.geometry.aabb import AABB
+from repro.index.base import PAGE_FANOUT, SpatialIndex
+from repro.storage.page import PageTable
+
+__all__ = ["STRTree", "str_partition"]
+
+
+def str_partition(centers: np.ndarray, fanout: int) -> list[np.ndarray]:
+    """Sort-Tile-Recursive partition of points into runs of <= ``fanout``.
+
+    Returns index arrays (into ``centers``) for each tile.  Operates on
+    3D centers; 2D data simply has a constant third coordinate.
+    """
+    n = len(centers)
+    if n == 0:
+        return []
+    ids = np.arange(n)
+    n_leaves = math.ceil(n / fanout)
+    s = math.ceil(n_leaves ** (1.0 / 3.0))
+
+    tiles: list[np.ndarray] = []
+    by_x = ids[np.argsort(centers[ids, 0], kind="stable")]
+    slab_size_x = math.ceil(n / s)
+    for x_start in range(0, n, slab_size_x):
+        slab_x = by_x[x_start : x_start + slab_size_x]
+        by_y = slab_x[np.argsort(centers[slab_x, 1], kind="stable")]
+        slab_size_y = math.ceil(len(slab_x) / s)
+        for y_start in range(0, len(slab_x), slab_size_y):
+            slab_y = by_y[y_start : y_start + slab_size_y]
+            by_z = slab_y[np.argsort(centers[slab_y, 2], kind="stable")]
+            for z_start in range(0, len(slab_y), fanout):
+                tiles.append(by_z[z_start : z_start + fanout])
+    return tiles
+
+
+@dataclass
+class _Node:
+    """Internal R-tree node: a box plus child node ids or leaf page ids."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    children: list[int]
+    is_leaf_parent: bool
+
+
+class STRTree(SpatialIndex):
+    """STR bulk-loaded R-tree; leaves are disk pages."""
+
+    def __init__(self, dataset: Dataset, fanout: int = PAGE_FANOUT) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        super().__init__(dataset)
+
+    def _build(self) -> PageTable:
+        dataset = self.dataset
+        tiles = str_partition(dataset.centroids, self.fanout)
+
+        self._leaf_lo = np.array([dataset.obj_lo[tile].min(axis=0) for tile in tiles])
+        self._leaf_hi = np.array([dataset.obj_hi[tile].max(axis=0) for tile in tiles])
+
+        # Build internal levels bottom-up by re-applying STR to box centers.
+        self._nodes: list[_Node] = []
+        level_ids = list(range(len(tiles)))
+        level_centers = (self._leaf_lo + self._leaf_hi) / 2.0
+        level_lo, level_hi = self._leaf_lo, self._leaf_hi
+        is_leaf_level = True
+        while len(level_ids) > 1:
+            groups = str_partition(level_centers, self.fanout)
+            new_ids, new_lo, new_hi, new_centers = [], [], [], []
+            for group in groups:
+                children = [level_ids[i] for i in group]
+                lo = level_lo[group].min(axis=0)
+                hi = level_hi[group].max(axis=0)
+                node_id = len(self._nodes)
+                self._nodes.append(_Node(lo, hi, children, is_leaf_level))
+                new_ids.append(node_id)
+                new_lo.append(lo)
+                new_hi.append(hi)
+                new_centers.append((lo + hi) / 2.0)
+            level_ids = new_ids
+            level_lo = np.array(new_lo)
+            level_hi = np.array(new_hi)
+            level_centers = np.array(new_centers)
+            is_leaf_level = False
+
+        if self._nodes:
+            self._root: int | None = level_ids[0]
+            self._single_leaf_root = None
+        else:
+            # 0 or 1 leaves: no internal structure needed.
+            self._root = None
+            self._single_leaf_root = level_ids[0] if level_ids else None
+        return PageTable(tiles)
+
+    # -- queries --------------------------------------------------------------
+
+    def pages_for_region(self, region: AABB) -> np.ndarray:
+        if self._root is None:
+            if self._single_leaf_root is None:
+                return np.empty(0, dtype=np.int64)
+            leaf = self._single_leaf_root
+            box = AABB(self._leaf_lo[leaf], self._leaf_hi[leaf])
+            if box.intersects(region):
+                return np.array([leaf], dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
+
+        result: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if np.any(node.lo > region.hi) or np.any(node.hi < region.lo):
+                continue
+            if node.is_leaf_parent:
+                for leaf in node.children:
+                    if np.all(self._leaf_lo[leaf] <= region.hi) and np.all(
+                        self._leaf_hi[leaf] >= region.lo
+                    ):
+                        result.append(leaf)
+            else:
+                stack.extend(node.children)
+        return np.array(sorted(result), dtype=np.int64)
+
+    def page_bounds(self, page_id: int) -> AABB:
+        return AABB(self._leaf_lo[page_id], self._leaf_hi[page_id])
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the leaves (0 for a single-leaf tree)."""
+        if self._root is None:
+            return 0
+        height = 1
+        node = self._nodes[self._root]
+        while not node.is_leaf_parent:
+            node = self._nodes[node.children[0]]
+            height += 1
+        return height
+
+    def leaf_page_for_point(self, point: np.ndarray) -> int | None:
+        """A leaf page whose box contains ``point`` (nearest box if none)."""
+        point = np.asarray(point, dtype=np.float64)
+        probe = AABB(point, point)
+        pages = self.pages_for_region(probe)
+        if len(pages):
+            return int(pages[0])
+        # Fall back to the leaf whose box is closest to the point.
+        clamped = np.clip(point, self._leaf_lo, self._leaf_hi)
+        distances = np.linalg.norm(clamped - point, axis=1)
+        return int(np.argmin(distances))

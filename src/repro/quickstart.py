@@ -1,0 +1,48 @@
+"""One-call end-to-end experiment, used by the README and smoke tests."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    EWMAPrefetcher,
+    HilbertPrefetcher,
+    NoPrefetcher,
+    StraightLinePrefetcher,
+)
+from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
+from repro.datagen import make_neuron_tissue
+from repro.index import FlatIndex
+from repro.sim import ExperimentResult, run_experiment
+from repro.workload import microbenchmark
+
+__all__ = ["quick_experiment"]
+
+
+def quick_experiment(
+    prefetcher: str = "scout",
+    benchmark: str = "adhoc_stat",
+    n_neurons: int = 40,
+    n_sequences: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Run one microbenchmark cell on a small synthetic tissue.
+
+    ``prefetcher`` is one of ``scout``, ``scout-opt``, ``ewma``,
+    ``straight-line``, ``hilbert``, ``none``.
+    """
+    dataset = make_neuron_tissue(n_neurons=n_neurons, seed=seed)
+    index = FlatIndex(dataset, fanout=16)
+    spec = microbenchmark(benchmark)
+    sequences = spec.generate(dataset, n_sequences=n_sequences, seed=seed)
+
+    factories = {
+        "scout": lambda: ScoutPrefetcher(dataset, ScoutConfig()),
+        "scout-opt": lambda: ScoutOptPrefetcher(dataset, index, ScoutConfig()),
+        "ewma": lambda: EWMAPrefetcher(lam=0.3),
+        "straight-line": StraightLinePrefetcher,
+        "hilbert": lambda: HilbertPrefetcher(dataset),
+        "none": NoPrefetcher,
+    }
+    if prefetcher not in factories:
+        known = ", ".join(sorted(factories))
+        raise ValueError(f"unknown prefetcher {prefetcher!r}; known: {known}")
+    return run_experiment(index, sequences, factories[prefetcher]())

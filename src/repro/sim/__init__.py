@@ -1,0 +1,23 @@
+"""Execution simulator for guided query sequences.
+
+Implements the paper's Figure-2 resource timeline: each query is served
+from the prefetch cache with residual I/O for misses; while the user
+analyzes the result (the prefetch window, ``ratio x`` the cold-read
+time), the prediction computation runs and the predicted locations are
+prefetched incrementally until the window closes.
+"""
+
+from repro.sim.engine import SimulationConfig, SimulationEngine
+from repro.sim.metrics import QueryRecord, SequenceMetrics, AggregateMetrics, aggregate
+from repro.sim.experiment import ExperimentResult, run_experiment
+
+__all__ = [
+    "AggregateMetrics",
+    "ExperimentResult",
+    "QueryRecord",
+    "SequenceMetrics",
+    "SimulationConfig",
+    "SimulationEngine",
+    "aggregate",
+    "run_experiment",
+]

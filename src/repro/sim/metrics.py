@@ -1,0 +1,174 @@
+"""Metrics collected by the simulator.
+
+The paper's two headline numbers are the *cache hit rate* ("percentage
+of data read from the prefetch cache rather than from disk", §3.3) and
+the *speedup* of query response time versus no prefetching (§7.3).  The
+analysis section adds a response-time breakdown into graph building,
+prediction and residual I/O (Fig 14).
+
+Hit rates are accounted at page granularity over queries 2..n of each
+sequence -- the first query has no history, so every method starts
+cold there (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AggregateMetrics", "QueryRecord", "SequenceMetrics", "aggregate"]
+
+
+@dataclass
+class QueryRecord:
+    """Accounting of one query in a sequence."""
+
+    index: int
+    pages_needed: int
+    pages_hit: int
+    objects_needed: int
+    objects_hit: int
+    residual_seconds: float
+    cold_seconds: float
+    window_seconds: float
+    prediction_seconds: float
+    graph_build_seconds: float
+    prefetch_pages: int
+    prefetch_seconds: float
+    gap_io_pages: int
+    n_result_objects: int
+    n_candidates: int
+
+    @property
+    def pages_missed(self) -> int:
+        """Pages that had to be read from disk."""
+        return self.pages_needed - self.pages_hit
+
+
+@dataclass
+class SequenceMetrics:
+    """Accounting of one full sequence run."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    # -- headline numbers ----------------------------------------------------------
+
+    @property
+    def eligible(self) -> list[QueryRecord]:
+        """Records that count towards the hit rate (all but the first)."""
+        return self.records[1:]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of result *data* served from the prefetch cache.
+
+        Object-weighted, following §3.3's definition ("percentage of
+        data read from the prefetch cache rather than from disk"): an
+        object counts as a hit when the page holding it was prefetched.
+        """
+        needed = sum(r.objects_needed for r in self.eligible)
+        if needed == 0:
+            return 0.0
+        return sum(r.objects_hit for r in self.eligible) / needed
+
+    @property
+    def page_hit_rate(self) -> float:
+        """Page-granular hit rate (I/O view of the same quantity)."""
+        needed = sum(r.pages_needed for r in self.eligible)
+        if needed == 0:
+            return 0.0
+        return sum(r.pages_hit for r in self.eligible) / needed
+
+    @property
+    def response_seconds(self) -> float:
+        """Total response time: residual I/O plus uncovered prediction cost."""
+        return sum(r.residual_seconds for r in self.records)
+
+    @property
+    def cold_seconds(self) -> float:
+        """Total response time had nothing been prefetched."""
+        return sum(r.cold_seconds for r in self.records)
+
+    @property
+    def speedup(self) -> float:
+        """Response-time speedup vs no prefetching (cold / actual)."""
+        response = self.response_seconds
+        if response <= 0:
+            return float("inf")
+        return self.cold_seconds / response
+
+    # -- breakdown (Fig 14) ---------------------------------------------------------
+
+    @property
+    def graph_build_seconds(self) -> float:
+        """Total simulated graph-building time (Fig 14)."""
+        return sum(r.graph_build_seconds for r in self.records)
+
+    @property
+    def prediction_seconds(self) -> float:
+        """Total simulated prediction time, graph build included."""
+        return sum(r.prediction_seconds for r in self.records)
+
+    @property
+    def residual_io_seconds(self) -> float:
+        """Total residual (cache-miss) I/O time."""
+        return sum(r.residual_seconds for r in self.records)
+
+    @property
+    def total_prefetch_pages(self) -> int:
+        """Pages brought into the cache by prefetching."""
+        return sum(r.prefetch_pages for r in self.records)
+
+    @property
+    def total_gap_io_pages(self) -> int:
+        """Pages read by SCOUT-OPT's gap traversal (prediction I/O)."""
+        return sum(r.gap_io_pages for r in self.records)
+
+
+@dataclass
+class AggregateMetrics:
+    """Metrics pooled over several sequences of one experiment cell."""
+
+    n_sequences: int
+    cache_hit_rate: float
+    hit_rate_std: float
+    speedup: float
+    response_seconds: float
+    cold_seconds: float
+    graph_build_seconds: float
+    prediction_seconds: float
+    per_sequence_hit_rates: list[float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"hit-rate {100 * self.cache_hit_rate:.1f}% "
+            f"(±{100 * self.hit_rate_std:.1f}) speedup {self.speedup:.2f}x"
+        )
+
+
+def aggregate(sequences: list[SequenceMetrics]) -> AggregateMetrics:
+    """Pool per-sequence metrics into one experiment-cell result.
+
+    The hit rate is page-weighted across sequences (total hits over
+    total requests); the speedup is the ratio of pooled times, matching
+    how a wall-clock experiment would measure both.
+    """
+    if not sequences:
+        raise ValueError("aggregate() needs at least one sequence")
+    needed = sum(r.objects_needed for s in sequences for r in s.eligible)
+    hit = sum(r.objects_hit for s in sequences for r in s.eligible)
+    response = sum(s.response_seconds for s in sequences)
+    cold = sum(s.cold_seconds for s in sequences)
+    rates = [s.cache_hit_rate for s in sequences]
+    return AggregateMetrics(
+        n_sequences=len(sequences),
+        cache_hit_rate=hit / needed if needed else 0.0,
+        hit_rate_std=float(np.std(rates)) if len(rates) > 1 else 0.0,
+        speedup=cold / response if response > 0 else float("inf"),
+        response_seconds=response,
+        cold_seconds=cold,
+        graph_build_seconds=sum(s.graph_build_seconds for s in sequences),
+        prediction_seconds=sum(s.prediction_seconds for s in sequences),
+        per_sequence_hit_rates=rates,
+    )

@@ -1,0 +1,16 @@
+"""Simulated storage stack: pages, disk cost model, prefetch cache.
+
+The paper's experiments run against a 4-disk SAS array with 4 KB pages.
+Per the substitution rule in DESIGN.md we replace the physical array
+with a deterministic cost model: each page read charges seek/rotational
+latency (discounted for sequential runs and amortized across stripes)
+plus transfer time.  The prefetch cache is a page-granular LRU with the
+4 GB budget of the paper scaled to the synthetic datasets.
+"""
+
+from repro.storage.page import PageTable
+from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.cache import PrefetchCache
+from repro.storage.stats import IOStats
+
+__all__ = ["DiskModel", "DiskParameters", "IOStats", "PageTable", "PrefetchCache"]

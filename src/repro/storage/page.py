@@ -1,0 +1,91 @@
+"""Mapping between spatial objects and disk pages.
+
+Spatial indexes (R-tree leaves, FLAT partitions, grid buckets) decide
+which objects live on which 4 KB disk page; the :class:`PageTable`
+records that assignment and answers both directions of the lookup.  The
+simulator charges I/O at page granularity, so everything downstream --
+cache, disk model, hit-rate accounting -- speaks page ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    """Immutable object-to-page assignment.
+
+    Built once at index-construction time from a list of object-id arrays
+    (one array per page, page ids are positions in the list).
+    """
+
+    def __init__(self, pages: Sequence[np.ndarray]) -> None:
+        self._pages: list[np.ndarray] = []
+        n_objects = 0
+        for objects in pages:
+            arr = np.asarray(objects, dtype=np.int64)
+            if arr.ndim != 1:
+                raise ValueError("each page must be a 1D array of object ids")
+            self._pages.append(arr)
+            n_objects += len(arr)
+        self._n_objects = n_objects
+
+        self._page_of_object = np.full(self._max_object_id() + 1, -1, dtype=np.int64)
+        for page_id, objects in enumerate(self._pages):
+            if np.any(self._page_of_object[objects] != -1):
+                raise ValueError("an object was assigned to more than one page")
+            self._page_of_object[objects] = page_id
+
+    def _max_object_id(self) -> int:
+        best = -1
+        for objects in self._pages:
+            if len(objects):
+                best = max(best, int(objects.max()))
+        return best
+
+    # -- sizes ------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def n_objects(self) -> int:
+        return self._n_objects
+
+    def page_size(self, page_id: int) -> int:
+        return len(self._pages[page_id])
+
+    # -- lookups --------------------------------------------------------
+
+    def objects_of_page(self, page_id: int) -> np.ndarray:
+        """Object ids stored on a page (a read-only view)."""
+        return self._pages[page_id]
+
+    def page_of_object(self, object_id: int) -> int:
+        page = int(self._page_of_object[object_id])
+        if page < 0:
+            raise KeyError(f"object {object_id} is not assigned to any page")
+        return page
+
+    def pages_of_objects(self, object_ids: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Distinct page ids covering the given objects (sorted)."""
+        return np.unique(self.page_ids_of_objects(object_ids))
+
+    def page_ids_of_objects(self, object_ids: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Per-object page id array (same order and length as the input)."""
+        object_ids = np.asarray(
+            list(object_ids) if not isinstance(object_ids, np.ndarray) else object_ids,
+            dtype=np.int64,
+        )
+        if len(object_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        pages = self._page_of_object[object_ids]
+        if np.any(pages < 0):
+            missing = object_ids[pages < 0]
+            raise KeyError(f"objects {missing[:5].tolist()} are not assigned to any page")
+        return pages

@@ -1,0 +1,23 @@
+"""I/O statistics counters shared by the disk model and the cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Running counters for one simulated component."""
+
+    pages_read: int = 0
+    random_positionings: int = 0
+    seconds_busy: float = 0.0
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            pages_read=self.pages_read + other.pages_read,
+            random_positionings=self.random_positionings + other.random_positionings,
+            seconds_busy=self.seconds_busy + other.seconds_busy,
+        )

@@ -1,0 +1,3 @@
+"""Package version, importable without triggering heavy imports."""
+
+__version__ = "1.0.0"

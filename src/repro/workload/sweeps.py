@@ -1,0 +1,70 @@
+"""Parameter sweeps for the sensitivity analysis (paper §7.4, Fig 13).
+
+Each sweep fixes the §7.4 defaults -- 25-query sequences, 80,000 µm³
+cubes, prefetch-window ratio 1 -- and varies one parameter.  The paper
+sweeps absolute values tied to its 450M-object tissue; we keep the
+paper's values where units transfer (volume, window ratio, sequence
+length, grid resolution, gap distance) and scale the density axis to
+synthetic-tissue sizes (Fig 13b varies objects at fixed volume).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "SENSITIVITY_DEFAULTS",
+    "SweepDefaults",
+    "fig13_axes",
+    "scale_factor",
+]
+
+
+def scale_factor() -> float:
+    """Global experiment scale from the ``REPRO_SCALE`` environment knob.
+
+    1.0 (default) keeps the bench suite laptop-sized; larger values grow
+    datasets and sequence counts proportionally.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class SweepDefaults:
+    """The §7.4 defaults shared by all sensitivity experiments."""
+
+    n_queries: int = 25
+    volume: float = 80_000.0
+    window_ratio: float = 1.0
+    aspect: str = "cube"
+    gap: float = 0.0
+    n_sequences: int = 8
+    n_neurons: int = 80
+
+
+SENSITIVITY_DEFAULTS = SweepDefaults()
+
+
+def fig13_axes() -> dict[str, list]:
+    """The x-axes of the six Fig-13 panels.
+
+    Keys match the panel letters; values follow the paper's tick values
+    except for density, which is expressed in neuron counts scaled to
+    the synthetic tissue (the paper adds 50M objects per step).
+    """
+    return {
+        "a_query_volume": [10_000.0, 45_000.0, 80_000.0, 115_000.0, 150_000.0, 185_000.0],
+        "b_density_neurons": [40, 60, 80, 100, 120],
+        "c_sequence_length": [5, 15, 25, 35, 45, 55],
+        "d_window_ratio": [0.1, 0.7, 1.3, 1.9, 2.5],
+        "e_grid_resolution": [32_768, 4_096, 512, 64, 8],
+        "f_gap_distance": [10.0, 15.0, 20.0, 25.0],
+    }

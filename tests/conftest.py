@@ -1,0 +1,73 @@
+"""Shared fixtures: small, session-scoped datasets and indexes.
+
+Dataset generation and index bulk-loading dominate test runtime, so the
+suite shares one small instance of each dataset across all test modules.
+Tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    make_arterial_tree,
+    make_lung_airways,
+    make_neuron_tissue,
+    make_road_network,
+)
+from repro.index import FlatIndex, GridIndex, STRTree
+
+
+@pytest.fixture(scope="session")
+def tissue():
+    """A small neuron tissue (enough structure for guided sequences)."""
+    return make_neuron_tissue(n_neurons=12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def arterial():
+    return make_arterial_tree(seed=5)
+
+
+@pytest.fixture(scope="session")
+def lung():
+    from repro.datagen.branching import BranchingConfig
+    from repro.datagen.lung import LUNG_CONFIG
+
+    small = BranchingConfig(
+        n_stems=1,
+        max_depth=3,
+        steps_per_branch=LUNG_CONFIG.steps_per_branch,
+        step_length=LUNG_CONFIG.step_length,
+        direction_jitter=LUNG_CONFIG.direction_jitter,
+        bifurcation_angle=LUNG_CONFIG.bifurcation_angle,
+        radius_root=LUNG_CONFIG.radius_root,
+        radius_decay=LUNG_CONFIG.radius_decay,
+    )
+    return make_lung_airways(seed=5, config=small)
+
+
+@pytest.fixture(scope="session")
+def roads():
+    return make_road_network(grid_size=8, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tissue_rtree(tissue):
+    return STRTree(tissue, fanout=16)
+
+
+@pytest.fixture(scope="session")
+def tissue_flat(tissue):
+    return FlatIndex(tissue, fanout=16)
+
+
+@pytest.fixture(scope="session")
+def tissue_grid_index(tissue):
+    return GridIndex(tissue, fanout=16)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

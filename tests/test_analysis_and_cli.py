@@ -1,0 +1,94 @@
+"""Reporting tables, sweep definitions and the CLI entry point."""
+
+import pytest
+
+from repro.analysis import ResultTable, format_row, paper_reference
+from repro.cli import main
+from repro.workload.sweeps import SENSITIVITY_DEFAULTS, fig13_axes, scale_factor
+
+
+class TestResultTable:
+    def test_render_includes_rows_and_columns(self):
+        table = ResultTable("demo", ["a", "b"], figure_id="fig3")
+        table.add_row("scout", [1.25, 2.5])
+        text = table.render()
+        assert "demo" in text and "scout" in text
+        assert "paper:" in text  # fig3 has a reference note
+
+    def test_row_length_validated(self):
+        table = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("bad", [1.0])
+
+    def test_cell_lookup(self):
+        table = ResultTable("demo", ["x"])
+        table.add_row("r", [3.25])
+        assert table.cell("r", "x") == 3.25
+        with pytest.raises(KeyError):
+            table.cell("missing", "x")
+
+    def test_format_row_handles_none_and_strings(self):
+        row = format_row("label", [None, "n/a", 1.5])
+        assert "n/a" in row and "1.5" in row
+
+    def test_paper_reference_empty_for_unknown(self):
+        assert paper_reference("fig99") == ""
+
+
+class TestSweeps:
+    def test_axes_cover_all_panels(self):
+        axes = fig13_axes()
+        assert sorted(axes) == [
+            "a_query_volume",
+            "b_density_neurons",
+            "c_sequence_length",
+            "d_window_ratio",
+            "e_grid_resolution",
+            "f_gap_distance",
+        ]
+        assert axes["e_grid_resolution"][0] == 32_768
+
+    def test_defaults_match_paper(self):
+        assert SENSITIVITY_DEFAULTS.n_queries == 25
+        assert SENSITIVITY_DEFAULTS.volume == 80_000.0
+        assert SENSITIVITY_DEFAULTS.window_ratio == 1.0
+
+    def test_scale_factor_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+
+    def test_scale_factor_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()
+
+
+class TestCli:
+    def test_list_benchmarks(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "adhoc_stat" in out and "vis_gaps_low" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            [
+                "--prefetcher",
+                "straight-line",
+                "--benchmark",
+                "adhoc_stat",
+                "--neurons",
+                "6",
+                "--sequences",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out and "speedup" in out

@@ -1,0 +1,224 @@
+"""Baseline prefetchers: prediction math and planning behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EWMAPrefetcher,
+    HilbertPrefetcher,
+    LayeredPrefetcher,
+    NoPrefetcher,
+    ObservedQuery,
+    OraclePrefetcher,
+    PolynomialPrefetcher,
+    StraightLinePrefetcher,
+    VelocityPrefetcher,
+)
+from repro.geometry import AABB
+
+
+def observe_path(prefetcher, centers, side=10.0):
+    """Feed a list of centers to a prefetcher as cube queries."""
+    prefetcher.begin_sequence()
+    for i, center in enumerate(centers):
+        bounds = AABB.from_center_extent(np.asarray(center, dtype=float), side)
+        prefetcher.observe(ObservedQuery(i, bounds, np.empty(0, dtype=np.int64)))
+
+
+def predicted_center(prefetcher):
+    (target,) = prefetcher.plan()
+    assert target.regions is not None
+    return target.regions[0].center
+
+
+class TestStraightLine:
+    def test_needs_two_points(self):
+        p = StraightLinePrefetcher()
+        observe_path(p, [[0, 0, 0]])
+        assert p.plan() == []
+
+    def test_exact_on_linear_motion(self):
+        p = StraightLinePrefetcher()
+        observe_path(p, [[0, 0, 0], [3, 0, 0], [6, 0, 0]])
+        assert np.allclose(predicted_center(p), [9, 0, 0])
+
+    def test_no_plan_when_stationary(self):
+        p = StraightLinePrefetcher()
+        observe_path(p, [[1, 1, 1], [1, 1, 1]])
+        assert p.plan() == []
+
+    def test_begin_sequence_resets(self):
+        p = StraightLinePrefetcher()
+        observe_path(p, [[0, 0, 0], [3, 0, 0]])
+        p.begin_sequence()
+        assert p.plan() == []
+
+
+class TestPolynomial:
+    def test_exact_on_quadratic_motion(self):
+        p = PolynomialPrefetcher(degree=2)
+        centers = [[t * t, 2 * t, 0] for t in range(4)]
+        observe_path(p, centers)
+        assert np.allclose(predicted_center(p), [16, 8, 0], atol=1e-6)
+
+    def test_needs_degree_plus_one(self):
+        p = PolynomialPrefetcher(degree=3)
+        observe_path(p, [[0, 0, 0], [1, 0, 0], [2, 0, 0]])
+        assert p.plan() == []
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            PolynomialPrefetcher(degree=0)
+
+    def test_name_includes_degree(self):
+        assert PolynomialPrefetcher(3).name == "poly-3"
+
+
+class TestVelocity:
+    def test_averages_recent_velocity(self):
+        p = VelocityPrefetcher(window=2)
+        observe_path(p, [[0, 0, 0], [2, 0, 0], [6, 0, 0]])
+        # velocities 2 and 4 -> mean 3; prediction 6 + 3 = 9.
+        assert np.allclose(predicted_center(p), [9, 0, 0])
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            VelocityPrefetcher(window=0)
+
+
+class TestEWMA:
+    def test_constant_motion_exact(self):
+        p = EWMAPrefetcher(lam=0.3)
+        observe_path(p, [[0, 0, 0], [5, 0, 0], [10, 0, 0]])
+        assert np.allclose(predicted_center(p), [15, 0, 0])
+
+    def test_recent_movement_dominates(self):
+        p = EWMAPrefetcher(lam=0.8)
+        observe_path(p, [[0, 0, 0], [10, 0, 0], [10, 1, 0]])
+        prediction = predicted_center(p)
+        # The recent +y movement outweighs the older +x one at high lambda.
+        delta = prediction - np.array([10, 1, 0])
+        assert delta[1] > 0
+        assert abs(delta[0]) < 10 * 0.25
+
+    def test_weights_follow_paper_formula(self):
+        lam = 0.3
+        p = EWMAPrefetcher(lam=lam)
+        moves = [np.array([1.0, 0, 0]), np.array([0, 1.0, 0]), np.array([0, 0, 1.0])]
+        centers = [np.zeros(3)]
+        for move in moves:
+            centers.append(centers[-1] + move)
+        observe_path(p, centers)
+        weights = np.array([lam * (1 - lam) ** j for j in range(3)])
+        weights /= weights.sum()
+        expected_velocity = (
+            weights[0] * moves[2] + weights[1] * moves[1] + weights[2] * moves[0]
+        )
+        assert np.allclose(predicted_center(p) - centers[-1], expected_velocity)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            EWMAPrefetcher(lam=0.0)
+        with pytest.raises(ValueError):
+            EWMAPrefetcher(lam=1.5)
+
+
+class TestHilbert:
+    def test_plans_cells_near_current(self, tissue):
+        p = HilbertPrefetcher(tissue, cells_per_axis=8, n_prefetch_cells=6)
+        observe_path(p, [tissue.bounds.center])
+        (target,) = p.plan()
+        assert target.regions is not None
+        assert 1 <= len(target.regions) <= 6
+        for region in target.regions:
+            assert tissue.bounds.inflate(1.0).intersects(region)
+
+    def test_no_plan_before_observation(self, tissue):
+        p = HilbertPrefetcher(tissue)
+        p.begin_sequence()
+        assert p.plan() == []
+
+    def test_2d_dataset_uses_2d_curve(self, roads):
+        p = HilbertPrefetcher(roads, cells_per_axis=8)
+        observe_path(p, [roads.bounds.center])
+        (target,) = p.plan()
+        # All prefetched cells span the full z-extent (one z layer).
+        for region in target.regions:
+            assert region.extent[2] >= roads.bounds.extent[2] * 0.99
+
+    def test_rejects_bad_parameters(self, tissue):
+        with pytest.raises(ValueError):
+            HilbertPrefetcher(tissue, cells_per_axis=1)
+        with pytest.raises(ValueError):
+            HilbertPrefetcher(tissue, n_prefetch_cells=0)
+
+
+class TestLayered:
+    def test_prefetches_surrounding_cells(self, tissue):
+        p = LayeredPrefetcher(tissue, cells_per_axis=8)
+        observe_path(p, [tissue.bounds.center])
+        (target,) = p.plan()
+        assert target.regions is not None
+        assert len(target.regions) == 26  # interior cell in 3D
+
+    def test_corner_cell_has_fewer_neighbors(self, tissue):
+        p = LayeredPrefetcher(tissue, cells_per_axis=8)
+        observe_path(p, [tissue.bounds.lo + 1e-6])
+        (target,) = p.plan()
+        assert len(target.regions) == 7
+
+    def test_nearest_cells_first(self, tissue):
+        p = LayeredPrefetcher(tissue, cells_per_axis=8)
+        center = tissue.bounds.center
+        observe_path(p, [center])
+        (target,) = p.plan()
+        distances = [np.linalg.norm(r.center - center) for r in target.regions]
+        assert distances == sorted(distances)
+
+
+class TestTrivial:
+    def test_no_prefetcher_never_plans(self):
+        p = NoPrefetcher()
+        observe_path(p, [[0, 0, 0], [1, 0, 0]])
+        assert p.plan() == []
+
+    def test_oracle_prefetches_true_next(self, tissue, rng):
+        from repro.workload import generate_sequence
+
+        seq = generate_sequence(tissue, rng, n_queries=4, volume=40_000.0)
+        p = OraclePrefetcher(seq)
+        p.begin_sequence()
+        p.observe(ObservedQuery(0, seq.queries[0].bounds, np.empty(0, dtype=np.int64)))
+        (target,) = p.plan()
+        assert np.allclose(target.regions[0].center, seq.queries[1].bounds.center)
+
+    def test_oracle_stops_at_sequence_end(self, tissue, rng):
+        from repro.workload import generate_sequence
+
+        seq = generate_sequence(tissue, rng, n_queries=2, volume=40_000.0)
+        p = OraclePrefetcher(seq)
+        p.begin_sequence()
+        for i in range(2):
+            p.observe(ObservedQuery(i, seq.queries[i].bounds, np.empty(0, dtype=np.int64)))
+        assert p.plan() == []
+
+    def test_oracle_requires_sequence(self):
+        p = OraclePrefetcher()
+        p.begin_sequence()
+        p.observe(ObservedQuery(0, AABB([0, 0, 0], [1, 1, 1]), np.empty(0, dtype=np.int64)))
+        with pytest.raises(RuntimeError):
+            p.plan()
+
+
+class TestPrefetchTarget:
+    def test_direction_normalized(self):
+        from repro.baselines import PrefetchTarget
+
+        target = PrefetchTarget(anchor=np.zeros(3), direction=np.array([0, 0, 5.0]))
+        assert np.allclose(target.direction, [0, 0, 1])
+
+    def test_rejects_negative_share(self):
+        from repro.baselines import PrefetchTarget
+
+        with pytest.raises(ValueError):
+            PrefetchTarget(anchor=np.zeros(3), direction=np.ones(3), share=-0.5)

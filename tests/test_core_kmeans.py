@@ -1,0 +1,75 @@
+"""k-means: clustering quality and determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kmeans
+
+
+class TestBasics:
+    def test_k_equals_n_identity(self, rng):
+        points = rng.uniform(0, 10, size=(4, 3))
+        centers, labels = kmeans(points, 4, rng)
+        assert np.allclose(centers, points)
+        assert list(labels) == [0, 1, 2, 3]
+
+    def test_k_greater_than_n(self, rng):
+        points = rng.uniform(0, 10, size=(3, 3))
+        centers, labels = kmeans(points, 10, rng)
+        assert len(centers) == 3
+
+    def test_separated_clusters_recovered(self, rng):
+        a = rng.normal(0, 0.1, size=(20, 3))
+        b = rng.normal(0, 0.1, size=(20, 3)) + 100.0
+        points = np.vstack([a, b])
+        _, labels = kmeans(points, 2, rng)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_every_cluster_nonempty(self, rng):
+        points = rng.uniform(0, 1, size=(30, 2))
+        _, labels = kmeans(points, 5, rng)
+        assert set(labels) == set(range(5))
+
+    def test_identical_points(self, rng):
+        points = np.ones((10, 3))
+        centers, labels = kmeans(points, 3, rng)
+        assert np.allclose(centers, 1.0)
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(0).uniform(0, 1, size=(50, 3))
+        c1, l1 = kmeans(points, 4, np.random.default_rng(9))
+        c2, l2 = kmeans(points, 4, np.random.default_rng(9))
+        assert np.allclose(c1, c2) and np.array_equal(l1, l2)
+
+
+class TestValidation:
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 3)), 2, rng)
+
+    def test_rejects_k_zero(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 3)), 0, rng)
+
+    def test_rejects_1d_input(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2, rng)
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_labels_point_to_nearest_ish_center(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(30, 3))
+        centers, labels = kmeans(points, k, rng)
+        assert labels.min() >= 0 and labels.max() < len(centers)
+        # Lloyd's converges to a local optimum: each point's assigned
+        # center is its nearest (up to re-seeded empty clusters).
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        nearest = distances.min(axis=1)
+        assigned = distances[np.arange(len(points)), labels]
+        assert np.all(assigned <= nearest + 1e-6) or np.mean(assigned <= nearest + 1e-6) > 0.9

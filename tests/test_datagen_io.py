@@ -1,0 +1,71 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import load_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_neuron_tissue(self, tissue, tmp_path):
+        path = tmp_path / "tissue.npz"
+        save_dataset(tissue, path)
+        loaded = load_dataset(path)
+        assert loaded.name == tissue.name
+        assert loaded.dims == tissue.dims
+        assert np.array_equal(loaded.p0, tissue.p0)
+        assert np.array_equal(loaded.p1, tissue.p1)
+        assert np.array_equal(loaded.radius, tissue.radius)
+        assert np.array_equal(loaded.structure_id, tissue.structure_id)
+        assert np.array_equal(loaded.branch_id, tissue.branch_id)
+
+    def test_navigation_graph_preserved(self, tissue, tmp_path):
+        path = tmp_path / "tissue.npz"
+        save_dataset(tissue, path)
+        loaded = load_dataset(path)
+        assert loaded.nav.n_nodes == tissue.nav.n_nodes
+        assert loaded.nav.n_edges == tissue.nav.n_edges
+        for a, b in zip(loaded.nav.edges, tissue.nav.edges):
+            assert (a.u, a.v) == (b.u, b.v)
+            assert np.allclose(a.polyline.points, b.polyline.points)
+        # Walks behave identically on the loaded copy.
+        w1 = tissue.nav.random_walk(np.random.default_rng(3), 100.0)
+        w2 = loaded.nav.random_walk(np.random.default_rng(3), 100.0)
+        assert np.allclose(w1.points, w2.points)
+
+    def test_explicit_edges_preserved(self, lung, tmp_path):
+        path = tmp_path / "lung.npz"
+        save_dataset(lung, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.explicit_edges, lung.explicit_edges)
+
+    def test_2d_dataset(self, roads, tmp_path):
+        path = tmp_path / "roads.npz"
+        save_dataset(roads, path)
+        loaded = load_dataset(path)
+        assert loaded.dims == 2
+        assert np.array_equal(loaded.p0, roads.p0)
+
+    def test_loaded_dataset_is_queryable(self, tissue, tmp_path):
+        from repro.geometry import AABB
+        from repro.index import STRTree
+
+        path = tmp_path / "tissue.npz"
+        save_dataset(tissue, path)
+        loaded = load_dataset(path)
+        index = STRTree(loaded, fanout=16)
+        region = AABB.cube(loaded.bounds.center, 40_000.0)
+        result = index.query(region)
+        assert result.n_objects >= 0  # full pipeline works on the copy
+
+    def test_version_check(self, tissue, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "tissue.npz"
+        save_dataset(tissue, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError):
+            load_dataset(path)

@@ -1,0 +1,182 @@
+"""Unit and property tests for AABB algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import AABB, aabbs_intersect_arrays, union_all
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    a = np.array([draw(coords) for _ in range(3)])
+    b = np.array([draw(coords) for _ in range(3)])
+    return AABB(np.minimum(a, b), np.maximum(a, b))
+
+
+class TestConstruction:
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError):
+            AABB([1.0, 0.0, 0.0], [0.0, 1.0, 1.0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            AABB([0.0, 0.0], [1.0, 1.0])
+
+    def test_cube_volume(self):
+        box = AABB.cube([0.0, 0.0, 0.0], 27.0)
+        assert box.volume == pytest.approx(27.0)
+        assert np.allclose(box.extent, 3.0)
+
+    def test_cube_rejects_nonpositive_volume(self):
+        with pytest.raises(ValueError):
+            AABB.cube([0.0, 0.0, 0.0], 0.0)
+
+    def test_from_center_extent_scalar(self):
+        box = AABB.from_center_extent([1.0, 2.0, 3.0], 4.0)
+        assert np.allclose(box.center, [1.0, 2.0, 3.0])
+        assert np.allclose(box.extent, 4.0)
+
+    def test_from_points(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [-1, 5, 2]], dtype=float)
+        box = AABB.from_points(pts)
+        assert np.allclose(box.lo, [-1, 0, 0])
+        assert np.allclose(box.hi, [1, 5, 3])
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AABB.from_points(np.empty((0, 3)))
+
+    def test_corners_are_immutable(self):
+        box = AABB.cube([0.0, 0.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            box.lo[0] = 5.0
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.contains_point([0, 0, 0])
+        assert box.contains_point([1, 1, 1])
+        assert not box.contains_point([1.0001, 0.5, 0.5])
+
+    def test_contains_points_vectorized(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        pts = np.array([[0.5, 0.5, 0.5], [2, 0, 0], [1, 1, 1]], dtype=float)
+        assert list(box.contains_points(pts)) == [True, False, True]
+
+    def test_intersects_touching_faces(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1, 0, 0], [2, 1, 1])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1.1, 0, 0], [2, 1, 1])
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_contains_box(self):
+        outer = AABB([0, 0, 0], [10, 10, 10])
+        inner = AABB([1, 1, 1], [2, 2, 2])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+
+class TestCombinators:
+    def test_intersection_volume(self):
+        a = AABB([0, 0, 0], [2, 2, 2])
+        b = AABB([1, 1, 1], [3, 3, 3])
+        overlap = a.intersection(b)
+        assert overlap is not None
+        assert overlap.volume == pytest.approx(1.0)
+
+    def test_inflate_grows_every_side(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).inflate(0.5)
+        assert np.allclose(box.lo, -0.5)
+        assert np.allclose(box.hi, 1.5)
+
+    def test_inflate_negative_collapses_to_center(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).inflate(-10.0)
+        assert np.allclose(box.lo, box.hi)
+        assert np.allclose(box.lo, 0.5)
+
+    def test_translate(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).translate([1, 2, 3])
+        assert np.allclose(box.lo, [1, 2, 3])
+
+    def test_distance_to_point(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.distance_to_point([0.5, 0.5, 0.5]) == 0.0
+        assert box.distance_to_point([2.0, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_boundary_distance_interior(self):
+        box = AABB([0, 0, 0], [2, 2, 2])
+        assert box.boundary_distance([1.0, 1.0, 0.1]) == pytest.approx(0.1)
+
+    def test_boundary_distance_exterior_is_positive(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.boundary_distance([3.0, 0.5, 0.5]) == pytest.approx(2.0)
+
+    def test_corners_count_and_membership(self):
+        box = AABB([0, 0, 0], [1, 2, 3])
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert all(box.contains_point(c) for c in corners)
+
+    def test_union_all(self):
+        boxes = [AABB([0, 0, 0], [1, 1, 1]), AABB([2, -1, 0], [3, 0, 5])]
+        union = union_all(boxes)
+        assert np.allclose(union.lo, [0, -1, 0])
+        assert np.allclose(union.hi, [3, 1, 5])
+
+    def test_union_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestVectorizedIntersection:
+    def test_matches_scalar(self, rng):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        lo = rng.uniform(-2, 2, size=(50, 3))
+        hi = lo + rng.uniform(0, 1, size=(50, 3))
+        mask = aabbs_intersect_arrays(lo, hi, box)
+        for i in range(50):
+            assert mask[i] == AABB(lo[i], hi[i]).intersects(box)
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains_box(a)
+        assert union.contains_box(b)
+
+    @given(boxes(), boxes())
+    def test_intersection_commutative(self, a, b):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        if ab is None:
+            assert ba is None
+        else:
+            assert np.allclose(ab.lo, ba.lo) and np.allclose(ab.hi, ba.hi)
+
+    @given(boxes(), boxes())
+    def test_intersection_inside_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_box(overlap)
+            assert b.contains_box(overlap)
+
+    @given(boxes())
+    def test_volume_non_negative(self, box):
+        assert box.volume >= 0.0
+
+    @given(boxes())
+    def test_clamp_point_inside(self, box):
+        point = np.array([1e7, -1e7, 0.0])
+        clamped = box.clamp_point(point)
+        assert box.contains_point(clamped)

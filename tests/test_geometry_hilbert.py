@@ -1,0 +1,71 @@
+"""Hilbert-curve correctness: bijectivity, locality, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import hilbert_decode, hilbert_encode
+
+
+class TestRoundtrip:
+    @given(st.integers(0, 2**15 - 1))
+    def test_3d_decode_encode(self, value):
+        coords = hilbert_decode(value, dims=3, bits=5)
+        assert hilbert_encode(coords, bits=5) == value
+
+    @given(st.tuples(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31)))
+    def test_3d_encode_decode(self, coords):
+        value = hilbert_encode(coords, bits=5)
+        assert hilbert_decode(value, dims=3, bits=5) == coords
+
+    @given(st.tuples(st.integers(0, 255), st.integers(0, 255)))
+    def test_2d_roundtrip(self, coords):
+        value = hilbert_encode(coords, bits=8)
+        assert hilbert_decode(value, dims=2, bits=8) == coords
+
+
+class TestCurveStructure:
+    def test_visits_every_cell_exactly_once_2d(self):
+        seen = {hilbert_decode(v, dims=2, bits=3) for v in range(64)}
+        assert len(seen) == 64
+
+    def test_visits_every_cell_exactly_once_3d(self):
+        seen = {hilbert_decode(v, dims=3, bits=2) for v in range(64)}
+        assert len(seen) == 64
+
+    def test_consecutive_values_are_grid_neighbors_2d(self):
+        """The defining Hilbert property: curve steps move one cell."""
+        previous = np.array(hilbert_decode(0, dims=2, bits=4))
+        for value in range(1, 256):
+            current = np.array(hilbert_decode(value, dims=2, bits=4))
+            assert np.abs(current - previous).sum() == 1, value
+            previous = current
+
+    def test_consecutive_values_are_grid_neighbors_3d(self):
+        previous = np.array(hilbert_decode(0, dims=3, bits=3))
+        for value in range(1, 512):
+            current = np.array(hilbert_decode(value, dims=3, bits=3))
+            assert np.abs(current - previous).sum() == 1, value
+            previous = current
+
+
+class TestValidation:
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((8, 0, 0), bits=3)
+
+    def test_rejects_negative_coordinate(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((-1, 0, 0), bits=3)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            hilbert_decode(512, dims=3, bits=3)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            hilbert_encode((0, 0), bits=0)
+
+    def test_one_dimension_is_identity(self):
+        assert hilbert_encode((5,), bits=4) == 5
+        assert hilbert_decode(5, dims=1, bits=4) == (5,)

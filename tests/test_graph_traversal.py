@@ -1,0 +1,108 @@
+"""Boundary crossings: exit points, directions, smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.dataset import Dataset, NavEdge, NavigationGraph, Polyline
+from repro.geometry import AABB
+from repro.graph import SpatialGraph, component_crossings, region_crossings
+from repro.graph.traversal import refine_crossing_direction
+
+
+def chain_dataset(points: np.ndarray) -> Dataset:
+    """A dataset that is a single polyline chain of segments."""
+    p0 = points[:-1]
+    p1 = points[1:]
+    n = len(p0)
+    nav = NavigationGraph(
+        np.array([points[0], points[-1]]), [NavEdge(0, 1, Polyline(points))]
+    )
+    return Dataset(
+        name="chain",
+        p0=p0,
+        p1=p1,
+        radius=np.zeros(n),
+        structure_id=np.zeros(n, dtype=np.int64),
+        branch_id=np.zeros(n, dtype=np.int64),
+        nav=nav,
+    )
+
+
+REGION = AABB([0, 0, 0], [10, 10, 10])
+
+
+class TestRegionCrossings:
+    def test_through_chain_has_two_crossings(self):
+        points = np.array([[-5, 5, 5], [5, 5, 5], [15, 5, 5]], dtype=float)
+        ds = chain_dataset(points)
+        crossings = region_crossings(ds, np.arange(ds.n_objects), REGION)
+        assert len(crossings) == 2
+        xs = sorted(c.point[0] for c in crossings)
+        assert xs[0] == pytest.approx(0.0) and xs[1] == pytest.approx(10.0)
+
+    def test_crossing_directions_point_outward(self):
+        points = np.array([[-5, 5, 5], [5, 5, 5], [15, 5, 5]], dtype=float)
+        ds = chain_dataset(points)
+        for crossing in region_crossings(ds, np.arange(ds.n_objects), REGION):
+            outward = crossing.point + crossing.direction * 0.1
+            assert not REGION.contains_point(outward)
+
+    def test_interior_chain_has_no_crossings(self):
+        points = np.array([[2, 2, 2], [4, 4, 4], [6, 6, 6]], dtype=float)
+        ds = chain_dataset(points)
+        assert region_crossings(ds, np.arange(ds.n_objects), REGION) == []
+
+    def test_exterior_object_contributes_nothing(self):
+        points = np.array([[20, 20, 20], [25, 25, 25]], dtype=float)
+        ds = chain_dataset(points)
+        assert region_crossings(ds, np.arange(ds.n_objects), REGION) == []
+
+    def test_extrapolate(self):
+        points = np.array([[5, 5, 5], [15, 5, 5]], dtype=float)
+        ds = chain_dataset(points)
+        (crossing,) = region_crossings(ds, np.array([0]), REGION)
+        beyond = crossing.extrapolate(3.0)
+        assert beyond[0] == pytest.approx(13.0)
+
+
+class TestComponentCrossings:
+    def test_groups_by_component(self):
+        # Two disjoint chains, each crossing the region once.
+        points_a = np.array([[5, 5, 5], [15, 5, 5]], dtype=float)
+        points_b = np.array([[5, 8, 8], [5, 8, 18]], dtype=float)
+        ds = chain_dataset(np.vstack([points_a, points_b]))
+        # Manual graph: objects 0 (a), 1 (bridge artifact), 2 (b); keep 0 and 2.
+        graph = SpatialGraph([0, 2])
+        crossings = component_crossings(ds, graph, REGION)
+        assert len(crossings) == 2
+        total = sum(len(v) for v in crossings.values())
+        assert total == 2
+
+    def test_interior_component_included_with_empty_list(self):
+        points = np.array([[2, 2, 2], [3, 3, 3]], dtype=float)
+        ds = chain_dataset(points)
+        graph = SpatialGraph([0])
+        crossings = component_crossings(ds, graph, REGION)
+        assert crossings == {0: []}
+
+
+class TestDirectionRefinement:
+    def test_smooths_towards_local_trend(self):
+        # A chain heading +x with one deviant last segment.
+        points = np.array(
+            [[6, 5, 5], [7, 5, 5], [8, 5, 5], [9, 5, 5], [10.5, 6.5, 5]], dtype=float
+        )
+        ds = chain_dataset(points)
+        ids = np.arange(ds.n_objects)
+        (crossing,) = region_crossings(ds, ids, REGION)
+        refined = refine_crossing_direction(ds, ids, crossing, radius=5.0)
+        # The refined direction leans more towards +x than the raw one.
+        assert refined.direction[0] > crossing.direction[0] - 1e-9
+        assert np.linalg.norm(refined.direction) == pytest.approx(1.0)
+
+    def test_no_nearby_objects_keeps_original(self):
+        points = np.array([[5, 5, 5], [15, 5, 5]], dtype=float)
+        ds = chain_dataset(points)
+        (crossing,) = region_crossings(ds, np.array([0]), REGION)
+        refined = refine_crossing_direction(ds, np.array([0]), crossing, radius=1e-6)
+        assert np.allclose(refined.direction, crossing.direction)

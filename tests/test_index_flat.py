@@ -1,0 +1,79 @@
+"""FLAT index: adjacency symmetry, crawl completeness, ordered retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB
+from repro.index import FlatIndex, STRTree
+
+
+class TestAdjacency:
+    def test_symmetric(self, tissue_flat):
+        for page in range(min(tissue_flat.n_pages, 200)):
+            for neighbor in tissue_flat.neighbors(page):
+                assert page in tissue_flat.neighbors(neighbor)
+
+    def test_no_self_loops(self, tissue_flat):
+        for page in range(min(tissue_flat.n_pages, 200)):
+            assert page not in tissue_flat.neighbors(page)
+
+    def test_neighbors_spatially_touch(self, tissue_flat):
+        eps = tissue_flat._adjacency_epsilon * 1.01
+        for page in range(min(tissue_flat.n_pages, 100)):
+            box = tissue_flat.page_bounds(page).inflate(eps)
+            for neighbor in tissue_flat.neighbors(page):
+                assert box.intersects(tissue_flat.page_bounds(neighbor))
+
+    def test_requires_flat_for_scout_opt(self, tissue, tissue_rtree):
+        from repro.core import ScoutOptPrefetcher
+
+        with pytest.raises(TypeError):
+            ScoutOptPrefetcher(tissue, tissue_rtree)
+
+
+class TestQueries:
+    def test_same_results_as_rtree(self, tissue, tissue_flat, tissue_rtree):
+        region = AABB.cube(tissue.bounds.center, 60_000.0)
+        flat_result = tissue_flat.query(region)
+        rtree_result = tissue_rtree.query(region)
+        assert set(flat_result.object_ids.tolist()) == set(rtree_result.object_ids.tolist())
+
+    def test_seed_page_contains_point(self, tissue, tissue_flat):
+        point = tissue.centroids[42]
+        seed = tissue_flat.seed_page(point)
+        assert tissue_flat.page_bounds(seed).contains_point(point)
+
+
+class TestCrawl:
+    def test_crawl_visits_all_result_pages(self, tissue, tissue_flat):
+        region = AABB.cube(tissue.bounds.center, 60_000.0)
+        crawled = tissue_flat.crawl_pages(region)
+        expected = set(tissue_flat.pages_for_region(region).tolist())
+        assert expected <= set(crawled)
+
+    def test_crawl_has_no_duplicates(self, tissue, tissue_flat):
+        region = AABB.cube(tissue.bounds.center, 60_000.0)
+        crawled = tissue_flat.crawl_pages(region)
+        assert len(crawled) == len(set(crawled))
+
+    def test_crawl_empty_region(self, tissue_flat):
+        region = AABB([1e7] * 3, [1e7 + 1] * 3)
+        assert tissue_flat.crawl_pages(region) == []
+
+
+class TestOrderedRetrieval:
+    def test_orders_by_distance_to_start(self, tissue, tissue_flat):
+        region = AABB.cube(tissue.bounds.center, 80_000.0)
+        start = region.lo.copy()
+        ordered = tissue_flat.ordered_pages(region, start[None, :])
+        distances = [tissue_flat.page_bounds(p).distance_to_point(start) for p in ordered]
+        assert distances == sorted(distances)
+
+    def test_returns_exactly_result_pages(self, tissue, tissue_flat):
+        region = AABB.cube(tissue.bounds.center, 80_000.0)
+        ordered = tissue_flat.ordered_pages(region, region.center[None, :])
+        assert sorted(ordered) == sorted(tissue_flat.pages_for_region(region).tolist())
+
+    def test_empty_region(self, tissue_flat):
+        region = AABB([1e7] * 3, [1e7 + 1] * 3)
+        assert tissue_flat.ordered_pages(region, np.zeros((1, 3))) == []

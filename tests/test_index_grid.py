@@ -1,0 +1,57 @@
+"""Grid index: bucketing, cell lookups, query exactness."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB
+from repro.index import GridIndex
+
+
+class TestStructure:
+    def test_pages_partition_objects(self, tissue, tissue_grid_index):
+        seen = np.concatenate(
+            [
+                tissue_grid_index.page_table.objects_of_page(p)
+                for p in range(tissue_grid_index.n_pages)
+            ]
+        )
+        assert sorted(seen) == list(range(tissue.n_objects))
+
+    def test_page_size_bounded_by_fanout(self, tissue_grid_index):
+        for page in range(tissue_grid_index.n_pages):
+            assert tissue_grid_index.page_table.page_size(page) <= tissue_grid_index.fanout
+
+    def test_cell_of_page_consistent(self, tissue, tissue_grid_index):
+        for page in range(min(50, tissue_grid_index.n_pages)):
+            cell = tissue_grid_index.cell_of_page(page)
+            assert page in tissue_grid_index.pages_of_cell(cell)
+
+    def test_occupied_cells_nonempty(self, tissue_grid_index):
+        cells = tissue_grid_index.occupied_cells()
+        assert cells
+        assert all(
+            tissue_grid_index._pages_of_cell[c] for c in cells
+        )
+
+    def test_explicit_resolution_2d(self, roads):
+        index = GridIndex(roads, cells_per_axis=8)
+        assert index.grid.shape == (8, 8, 1)
+
+
+class TestQueries:
+    def test_matches_brute_force(self, tissue, tissue_grid_index):
+        region = AABB.cube(tissue.bounds.center, 60_000.0)
+        mask = np.all((tissue.obj_lo <= region.hi) & (tissue.obj_hi >= region.lo), axis=1)
+        expected = set(np.flatnonzero(mask).tolist())
+        got = set(tissue_grid_index.query(region).object_ids.tolist())
+        assert got == expected
+
+    def test_empty_region(self, tissue_grid_index):
+        region = AABB([1e7] * 3, [1e7 + 1] * 3)
+        assert tissue_grid_index.query(region).n_objects == 0
+
+    def test_page_bounds_contain_objects(self, tissue, tissue_grid_index):
+        for page in range(min(40, tissue_grid_index.n_pages)):
+            box = tissue_grid_index.page_bounds(page)
+            for obj in tissue_grid_index.page_table.objects_of_page(page):
+                assert box.inflate(1e-9).contains_point(tissue.centroids[obj])

@@ -1,0 +1,131 @@
+"""STR R-tree: structure invariants and query exactness vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.dataset import Dataset, NavEdge, NavigationGraph, Polyline
+from repro.geometry import AABB
+from repro.index import STRTree
+from repro.index.rtree import str_partition
+
+
+def toy_dataset(points: np.ndarray) -> Dataset:
+    """Point-like dataset (zero-length segments) for index tests."""
+    n = len(points)
+    nav = NavigationGraph(
+        np.array([[0.0, 0, 0], [1.0, 0, 0]]),
+        [NavEdge(0, 1, Polyline(np.array([[0.0, 0, 0], [1.0, 0, 0]])))],
+    )
+    return Dataset(
+        name="toy",
+        p0=points,
+        p1=points.copy(),
+        radius=np.zeros(n),
+        structure_id=np.zeros(n, dtype=np.int64),
+        branch_id=np.zeros(n, dtype=np.int64),
+        nav=nav,
+    )
+
+
+class TestStrPartition:
+    def test_every_object_in_exactly_one_tile(self, rng):
+        centers = rng.uniform(0, 10, size=(500, 3))
+        tiles = str_partition(centers, fanout=16)
+        all_ids = np.concatenate(tiles)
+        assert sorted(all_ids) == list(range(500))
+
+    def test_tile_sizes_bounded(self, rng):
+        centers = rng.uniform(0, 10, size=(333, 3))
+        for tile in str_partition(centers, fanout=16):
+            assert 1 <= len(tile) <= 16
+
+    def test_empty_input(self):
+        assert str_partition(np.empty((0, 3)), fanout=8) == []
+
+
+class TestTreeStructure:
+    def test_single_page_dataset(self, rng):
+        ds = toy_dataset(rng.uniform(0, 1, size=(5, 3)))
+        tree = STRTree(ds, fanout=16)
+        assert tree.n_pages == 1
+        assert len(tree.pages_for_region(ds.bounds)) == 1
+        far = AABB([100, 100, 100], [101, 101, 101])
+        assert len(tree.pages_for_region(far)) == 0
+
+    def test_pages_partition_objects(self, rng):
+        ds = toy_dataset(rng.uniform(0, 10, size=(200, 3)))
+        tree = STRTree(ds, fanout=16)
+        seen = np.concatenate(
+            [tree.page_table.objects_of_page(p) for p in range(tree.n_pages)]
+        )
+        assert sorted(seen) == list(range(200))
+
+    def test_page_bounds_contain_their_objects(self, rng):
+        ds = toy_dataset(rng.uniform(0, 10, size=(200, 3)))
+        tree = STRTree(ds, fanout=16)
+        for page in range(tree.n_pages):
+            box = tree.page_bounds(page)
+            for obj in tree.page_table.objects_of_page(page):
+                assert box.contains_point(ds.p0[obj])
+
+    def test_height_grows_with_size(self, rng):
+        small = STRTree(toy_dataset(rng.uniform(0, 10, size=(30, 3))), fanout=4)
+        large = STRTree(toy_dataset(rng.uniform(0, 10, size=(900, 3))), fanout=4)
+        assert large.height > small.height
+
+    def test_rejects_tiny_fanout(self, rng):
+        with pytest.raises(ValueError):
+            STRTree(toy_dataset(rng.uniform(0, 1, size=(5, 3))), fanout=1)
+
+
+class TestQueryExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_query_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(150, 3))
+        ds = toy_dataset(points)
+        tree = STRTree(ds, fanout=8)
+        lo = rng.uniform(0, 8, size=3)
+        region = AABB(lo, lo + rng.uniform(0.5, 3, size=3))
+        expected = set(np.flatnonzero(region.contains_points(points)).tolist())
+        got = set(tree.query(region).object_ids.tolist())
+        assert got == expected
+
+    def test_query_on_real_tissue_matches_brute_force(self, tissue, tissue_rtree):
+        region = AABB.cube(tissue.bounds.center, 60_000.0)
+        mask = np.all(
+            (tissue.obj_lo <= region.hi) & (tissue.obj_hi >= region.lo), axis=1
+        )
+        expected = set(np.flatnonzero(mask).tolist())
+        got = set(tissue_rtree.query(region).object_ids.tolist())
+        assert got == expected
+
+    def test_result_pages_cover_result_objects(self, tissue, tissue_rtree):
+        region = AABB.cube(tissue.bounds.center, 40_000.0)
+        result = tissue_rtree.query(region)
+        pages = set(result.page_ids.tolist())
+        for obj in result.object_ids:
+            assert tissue_rtree.page_table.page_of_object(int(obj)) in pages
+
+    def test_whole_bounds_returns_everything(self, tissue, tissue_rtree):
+        result = tissue_rtree.query(tissue.bounds.inflate(1.0))
+        assert result.n_objects == tissue.n_objects
+        assert result.n_pages == tissue_rtree.n_pages
+
+    def test_empty_region(self, tissue_rtree):
+        region = AABB([1e7, 1e7, 1e7], [1e7 + 1, 1e7 + 1, 1e7 + 1])
+        result = tissue_rtree.query(region)
+        assert result.n_objects == 0 and result.n_pages == 0
+
+
+class TestPointLookup:
+    def test_leaf_page_for_contained_point(self, tissue, tissue_rtree):
+        point = tissue.centroids[0]
+        page = tissue_rtree.leaf_page_for_point(point)
+        assert tissue_rtree.page_bounds(page).contains_point(point)
+
+    def test_leaf_page_for_far_point_returns_nearest(self, tissue, tissue_rtree):
+        page = tissue_rtree.leaf_page_for_point(tissue.bounds.hi + 1e5)
+        assert 0 <= page < tissue_rtree.n_pages
