@@ -8,8 +8,14 @@ from repro.baselines import (
     StraightLinePrefetcher,
 )
 from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
-from repro.sim import ExperimentResult, run_experiment
-from repro.workload.sweeps import scale_factor
+from repro.sim import (
+    CellResult,
+    ExperimentResult,
+    ParallelRunner,
+    run_experiment,
+    warm_cell_resources,
+)
+from repro.workload.sweeps import fig13_matrix, scale_factor
 
 #: Sequences per experiment cell (scaled by REPRO_SCALE).  The paper
 #: uses 30-50; the default keeps the full suite laptop-sized while
@@ -39,9 +45,40 @@ def scout_opt(dataset, index) -> ScoutOptPrefetcher:
     return ScoutOptPrefetcher(dataset, index, ScoutConfig())
 
 
-def hit_pct(result: ExperimentResult) -> float:
-    return 100.0 * result.cache_hit_rate
+def hit_pct(result: ExperimentResult | CellResult) -> float:
+    return 100.0 * result.metrics.cache_hit_rate
 
 
 def run(index, sequences, prefetcher) -> ExperimentResult:
+    """One cell on prebuilt objects (the single-cell primitive)."""
     return run_experiment(index, sequences, prefetcher)
+
+
+def run_cells(cells, jobs: int = 1, store=None, resume: bool = True) -> list[CellResult]:
+    """Run declarative cells through the orchestrator, in cell order."""
+    return ParallelRunner(jobs=jobs, store=store).run(cells, resume=resume).results
+
+
+def warm(cells) -> None:
+    """Pre-build datasets/indexes so benchmark timing covers simulation only."""
+    warm_cell_resources(cells)
+
+
+def fig13_panel(panel: str, *, sequences_per_cell: int | None = None, **overrides):
+    """The Fig-13 panel matrix at benchmark scale (fixture-sized tissue).
+
+    Cells rebuild the same tissue as the session fixtures (``scaled(60)``
+    neurons, seed 7, FLAT fanout 16) via the runner's per-process memo,
+    so expressing a panel as a matrix costs one extra dataset build for
+    the whole benchmark session.
+    """
+    from conftest import BENCH_FANOUT, SEED, scaled
+
+    return fig13_matrix(
+        panel,
+        n_neurons=overrides.pop("n_neurons", scaled(60)),
+        n_sequences=sequences_per_cell if sequences_per_cell is not None else n_sequences(),
+        dataset_seed=SEED,
+        fanout=BENCH_FANOUT,
+        **overrides,
+    )

@@ -6,181 +6,116 @@ Six panels, each varying one parameter around the §7.4 defaults
 (c) rises with sequence length; (d) rises steeply with window ratio;
 (e) robust at fine grid resolutions; (f) falls with gap distance, with
 SCOUT-OPT above SCOUT.
+
+Each panel is expressed as a declarative :class:`ExperimentMatrix`
+(:func:`repro.workload.sweeps.fig13_matrix`) and executed through the
+parallel-capable orchestrator -- the same grid the ``scout-repro
+sweep`` CLI runs -- then pivoted into its table with
+:func:`repro.analysis.sweep_table`.
 """
 
-import pytest
+from repro.analysis import sweep_table
+from repro.workload.sweeps import fig13_axes, fig13_axis_value
 
-from repro.analysis import ResultTable
-from repro.core import ScoutConfig, ScoutPrefetcher
-from repro.datagen import make_neuron_tissue
-from repro.index import FlatIndex
-from repro.workload import generate_sequences
-from repro.workload.sweeps import SENSITIVITY_DEFAULTS as D, fig13_axes
-
-from conftest import BENCH_FANOUT
-from helpers import hit_pct, n_sequences, run, scout_only, scout_opt
+from helpers import fig13_panel, hit_pct, n_sequences, run_cells, warm
 
 AXES = fig13_axes()
 
 
-def _sweep(tissue, index, volumes=None, lengths=None, ratios=None, resolutions=None):
-    """Generic SCOUT sweep over one workload axis."""
-    cells = []
-    if volumes is not None:
-        for volume in volumes:
-            seqs = generate_sequences(
-                tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=volume,
-                window_ratio=D.window_ratio,
-            )
-            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
-    if lengths is not None:
-        for length in lengths:
-            seqs = generate_sequences(
-                tissue, n_sequences(), seed=13, n_queries=int(length), volume=D.volume,
-                window_ratio=D.window_ratio,
-            )
-            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
-    if ratios is not None:
-        for ratio in ratios:
-            seqs = generate_sequences(
-                tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=D.volume,
-                window_ratio=ratio,
-            )
-            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
-    if resolutions is not None:
-        seqs = generate_sequences(
-            tissue, n_sequences(), seed=13, n_queries=D.n_queries, volume=D.volume,
-            window_ratio=D.window_ratio,
-        )
-        for resolution in resolutions:
-            prefetcher = ScoutPrefetcher(tissue, ScoutConfig(grid_resolution=int(resolution)))
-            cells.append(hit_pct(run(index, seqs, prefetcher)))
-    return cells
-
-
-def test_fig13a_query_volume(benchmark, tissue, tissue_index):
-    volumes = AXES["a_query_volume"]
-    cells = benchmark.pedantic(
-        _sweep, args=(tissue, tissue_index), kwargs={"volumes": volumes}, rounds=1, iterations=1
+def _panel_table(panel, results, title, columns_format=str):
+    table = sweep_table(
+        title,
+        results,
+        column_of=lambda r: columns_format(fig13_axis_value(panel, r.spec)),
+        row_of=lambda r: r.prefetcher_kind,
+        value_of=hit_pct,
+        figure_id=f"fig13{panel}",
     )
-    table = ResultTable(
-        "Fig 13a -- accuracy vs query volume [hit %]",
-        [f"{int(v/1000)}k" for v in volumes],
-        figure_id="fig13a",
-    )
-    table.add_row("scout", cells)
     table.print()
+    return table
+
+
+def test_fig13a_query_volume(benchmark):
+    matrix = fig13_panel("a")
+    warm(matrix)
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "a",
+        results,
+        "Fig 13a -- accuracy vs query volume [hit %]",
+        columns_format=lambda v: f"{int(v / 1000)}k",
+    )
+    cells = table.row_values("scout")
     # Accuracy decreases from the smallest to the largest volume.
     assert cells[-1] < cells[0]
 
 
 def test_fig13b_density(benchmark):
-    neuron_counts = AXES["b_density_neurons"]
-
-    def sweep():
-        cells = []
-        for n_neurons in neuron_counts:
-            # Fixed tissue volume, growing object count = growing density
-            # (the paper adds 50M objects to the same 285 mm^3).
-            tissue = make_neuron_tissue(n_neurons=int(n_neurons), seed=13, extent=700.0)
-            index = FlatIndex(tissue, fanout=BENCH_FANOUT)
-            seqs = generate_sequences(
-                tissue, max(3, n_sequences() // 2), seed=13,
-                n_queries=D.n_queries, volume=D.volume, window_ratio=D.window_ratio,
-            )
-            cells.append(hit_pct(run(index, seqs, scout_only(tissue))))
-        return cells
-
-    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = ResultTable(
+    matrix = fig13_panel("b", sequences_per_cell=max(3, n_sequences() // 2))
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "b",
+        results,
         "Fig 13b -- accuracy vs dataset density [hit %]",
-        [f"{n}n" for n in neuron_counts],
-        figure_id="fig13b",
+        columns_format=lambda n: f"{n}n",
     )
-    table.add_row("scout", cells)
-    table.print()
+    cells = table.row_values("scout")
     # Roughly flat: no collapse as density grows.
     assert min(cells) > max(cells) - 25.0
     assert min(cells) > 50.0
 
 
-def test_fig13c_sequence_length(benchmark, tissue, tissue_index):
-    lengths = AXES["c_sequence_length"]
-    cells = benchmark.pedantic(
-        _sweep, args=(tissue, tissue_index), kwargs={"lengths": lengths}, rounds=1, iterations=1
+def test_fig13c_sequence_length(benchmark):
+    matrix = fig13_panel("c")
+    warm(matrix)
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "c", results, "Fig 13c -- accuracy vs sequence length [hit %]"
     )
-    table = ResultTable(
-        "Fig 13c -- accuracy vs sequence length [hit %]",
-        [str(n) for n in lengths],
-        figure_id="fig13c",
-    )
-    table.add_row("scout", cells)
-    table.print()
+    cells = table.row_values("scout")
     # Iterative pruning pays off: long sequences beat the shortest one.
     assert cells[-1] > cells[0]
 
 
-def test_fig13d_window_ratio(benchmark, tissue, tissue_index):
-    ratios = AXES["d_window_ratio"]
-    cells = benchmark.pedantic(
-        _sweep, args=(tissue, tissue_index), kwargs={"ratios": ratios}, rounds=1, iterations=1
-    )
-    table = ResultTable(
+def test_fig13d_window_ratio(benchmark):
+    matrix = fig13_panel("d")
+    warm(matrix)
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "d",
+        results,
         "Fig 13d -- accuracy vs prefetch window ratio [hit %]",
-        [f"{r:g}" for r in ratios],
-        figure_id="fig13d",
+        columns_format=lambda r: f"{r:g}",
     )
-    table.add_row("scout", cells)
-    table.print()
+    cells = table.row_values("scout")
     # Strong rise with the window: the paper reports 29% -> 88%.
     assert cells[0] < cells[-1] - 20.0
     assert cells == sorted(cells) or cells[1] <= cells[-1]
 
 
-def test_fig13e_grid_resolution(benchmark, tissue, tissue_index):
-    resolutions = AXES["e_grid_resolution"]
-    cells = benchmark.pedantic(
-        _sweep,
-        args=(tissue, tissue_index),
-        kwargs={"resolutions": resolutions},
-        rounds=1,
-        iterations=1,
+def test_fig13e_grid_resolution(benchmark):
+    matrix = fig13_panel("e")
+    warm(matrix)
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "e", results, "Fig 13e -- accuracy vs grid resolution [hit %]"
     )
-    table = ResultTable(
-        "Fig 13e -- accuracy vs grid resolution [hit %]",
-        [str(r) for r in resolutions],
-        figure_id="fig13e",
-    )
-    table.add_row("scout", cells)
-    table.print()
+    cells = table.row_values("scout")
     # The fine-resolution plateau (32768 vs 4096) holds within noise.
     assert abs(cells[0] - cells[1]) < 12.0
 
 
-def test_fig13f_gap_distance(benchmark, tissue, tissue_index):
-    gaps = AXES["f_gap_distance"]
-
-    def sweep():
-        scout_cells, opt_cells = [], []
-        for gap in gaps:
-            seqs = generate_sequences(
-                tissue, n_sequences(), seed=13, n_queries=D.n_queries,
-                volume=D.volume, gap=gap, window_ratio=D.window_ratio,
-            )
-            scout_cells.append(hit_pct(run(tissue_index, seqs, scout_only(tissue))))
-            opt_cells.append(
-                hit_pct(run(tissue_index, seqs, scout_opt(tissue, tissue_index)))
-            )
-        return scout_cells, opt_cells
-
-    scout_cells, opt_cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = ResultTable(
+def test_fig13f_gap_distance(benchmark):
+    matrix = fig13_panel("f")
+    warm(matrix)
+    results = benchmark.pedantic(run_cells, args=(matrix,), rounds=1, iterations=1)
+    table = _panel_table(
+        "f",
+        results,
         "Fig 13f -- accuracy vs gap distance [hit %]",
-        [f"{g:g}" for g in gaps],
-        figure_id="fig13f",
+        columns_format=lambda g: f"{g:g}",
     )
-    table.add_row("scout", scout_cells)
-    table.add_row("scout-opt", opt_cells)
-    table.print()
+    scout_cells = table.row_values("scout")
+    opt_cells = table.row_values("scout-opt")
     # SCOUT-OPT's gap traversal keeps it on top across gap distances.
     assert sum(opt_cells) >= sum(scout_cells)

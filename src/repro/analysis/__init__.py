@@ -1,5 +1,5 @@
 """Result reporting: ASCII tables and paper-vs-measured records."""
 
-from repro.analysis.tables import ResultTable, format_row, paper_reference
+from repro.analysis.tables import ResultTable, format_row, paper_reference, sweep_table
 
-__all__ = ["ResultTable", "format_row", "paper_reference"]
+__all__ = ["ResultTable", "format_row", "paper_reference", "sweep_table"]

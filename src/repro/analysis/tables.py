@@ -4,13 +4,19 @@ Every benchmark regenerating a paper table/figure prints one
 :class:`ResultTable` whose rows mirror the paper's series, plus the
 paper's reported range where the paper gives one, so a reader can
 eyeball paper-vs-measured without opening the PDF.
+
+:func:`sweep_table` builds the same tables from *persisted* sweep
+results (:class:`repro.sim.CellResult` records out of a
+:class:`repro.sim.ResultStore`), so figures can be re-rendered from a
+store file without re-simulating a single cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
-__all__ = ["ResultTable", "format_row", "paper_reference"]
+__all__ = ["ResultTable", "format_row", "paper_reference", "sweep_table"]
 
 #: Shape expectations lifted from the paper's text, keyed by figure id.
 #: Values are prose, not numbers to assert on -- the harness reproduces
@@ -93,3 +99,52 @@ class ResultTable:
             if label == row_label:
                 return values[column_index]
         raise KeyError(f"no row {row_label!r} in table {self.title!r}")
+
+    def row_values(self, row_label: str) -> list:
+        """All cells of one row, in column order."""
+        for label, values in self.rows:
+            if label == row_label:
+                return list(values)
+        raise KeyError(f"no row {row_label!r} in table {self.title!r}")
+
+
+def sweep_table(
+    title: str,
+    results: Iterable,
+    column_of: Callable[[Any], Any],
+    row_of: Callable[[Any], str],
+    value_of: Callable[[Any], Any],
+    figure_id: str = "",
+    precision: int = 1,
+) -> ResultTable:
+    """Pivot stored sweep results into a :class:`ResultTable`.
+
+    ``results`` is any iterable of result records (typically
+    :class:`repro.sim.CellResult` objects loaded from a store).
+    ``column_of`` extracts the x-axis value, ``row_of`` the series label
+    and ``value_of`` the plotted number.  Columns and rows keep first-
+    appearance order so a matrix's axis ordering survives the round trip
+    through the store; cells absent from ``results`` render blank.
+    """
+    results = list(results)
+    columns: list[Any] = []
+    row_labels: list[str] = []
+    grid: dict[tuple[str, Any], Any] = {}
+    for result in results:
+        column = column_of(result)
+        row = row_of(result)
+        if column not in columns:
+            columns.append(column)
+        if row not in row_labels:
+            row_labels.append(row)
+        grid[(row, column)] = value_of(result)
+
+    table = ResultTable(
+        title,
+        [c if isinstance(c, str) else f"{c:g}" for c in columns],
+        figure_id=figure_id,
+        precision=precision,
+    )
+    for row in row_labels:
+        table.add_row(row, [grid.get((row, column)) for column in columns])
+    return table

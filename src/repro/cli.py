@@ -1,10 +1,21 @@
-"""Command-line entry point: run one experiment cell from the shell.
+"""Command-line entry point: single experiment cells and parallel sweeps.
 
-Examples::
+Two forms::
 
-    scout-repro --prefetcher scout --benchmark adhoc_stat
-    scout-repro --prefetcher ewma --benchmark model_building --sequences 10
-    scout-repro --list
+    scout-repro [run] --prefetcher scout --benchmark adhoc_stat
+    scout-repro sweep --panels a,d --jobs 4 --out results/fig13.jsonl
+
+``run`` (the default when no subcommand is given, for backward
+compatibility) executes one experiment cell on synthetic neuron tissue
+and prints its headline numbers.
+
+``sweep`` expands Fig-13 sensitivity panels into an experiment matrix,
+fans the cells out over ``--jobs`` worker processes, persists every
+finished cell to a JSON-lines store keyed by the cell spec's content
+hash, and renders one table per panel from the stored results.  Re-runs
+against the same ``--out`` file resume: cells already in the store are
+skipped (disable with ``--no-resume``), and corrupt store lines are
+dropped and recomputed.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ __all__ = ["main"]
 _PREFETCHERS = ["scout", "scout-opt", "ewma", "straight-line", "hilbert", "none"]
 
 
-def _build_parser() -> argparse.ArgumentParser:
+def _build_run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scout-repro",
         description="Run a SCOUT-reproduction experiment cell on synthetic neuron tissue.",
@@ -39,8 +50,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _run_command(argv: list[str]) -> int:
+    args = _build_run_parser().parse_args(argv)
     if args.list:
         for name, spec in MICROBENCHMARKS.items():
             print(
@@ -62,6 +73,140 @@ def main(argv: list[str] | None = None) -> int:
     print(f"cache hit rate  : {100 * result.cache_hit_rate:.1f}%")
     print(f"speedup         : {result.speedup:.2f}x vs no prefetching")
     return 0
+
+
+def _build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro sweep",
+        description="Run Fig-13 sensitivity panels as a parallel, resumable experiment sweep.",
+    )
+    parser.add_argument(
+        "--panels",
+        default="a,b,c,d,e,f",
+        help="comma-separated Fig-13 panel letters (default: all six)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--out",
+        default="results/fig13_sweep.jsonl",
+        help="JSON-lines result store (appended; enables resume)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every cell even when the store already has it",
+    )
+    parser.add_argument(
+        "--neurons",
+        type=int,
+        default=None,
+        help="tissue size in neurons (panel b rescales its density axis around this)",
+    )
+    parser.add_argument("--sequences", type=int, default=None, help="sequences per cell")
+    parser.add_argument("--seed", type=int, default=13, help="workload seed")
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="truncate each panel axis to its first N tick values",
+    )
+    parser.add_argument(
+        "--list-cells",
+        action="store_true",
+        help="print the cell grid (spec key + axis point) and exit",
+    )
+    return parser
+
+
+def _sweep_command(argv: list[str]) -> int:
+    from repro.analysis import sweep_table
+    from repro.sim import ParallelRunner, ResultStore
+    from repro.workload.sweeps import FIG13_PANELS, fig13_axes, fig13_axis_value, fig13_matrix
+
+    parser = _build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    panels = [p.strip() for p in args.panels.split(",") if p.strip()]
+    if not panels:
+        parser.error("--panels must name at least one Fig-13 panel")
+    unknown = [p for p in panels if p not in FIG13_PANELS]
+    if unknown:
+        print(f"unknown panel(s): {', '.join(unknown)} (expected {', '.join(FIG13_PANELS)})")
+        return 2
+
+    axes = fig13_axes()
+    grids = []  # (panel, cells) in panel order
+    for panel in panels:
+        axis_key, _ = FIG13_PANELS[panel]
+        axis = axes[axis_key]
+        if args.points is not None:
+            axis = axis[: max(1, args.points)]
+        if panel == "b" and args.neurons is not None:
+            # Panel b's axis IS the neuron count; rescale it around the
+            # requested size so --neurons shrinks this panel too instead
+            # of being silently ignored.
+            from repro.workload.sweeps import SENSITIVITY_DEFAULTS
+
+            ratio = args.neurons / SENSITIVITY_DEFAULTS.n_neurons
+            axis = [max(2, int(round(n * ratio))) for n in axis]
+        matrix = fig13_matrix(
+            panel,
+            n_neurons=args.neurons,
+            n_sequences=args.sequences,
+            workload_seed=args.seed,
+            axis=axis,
+        )
+        grids.append((panel, matrix.cells()))
+
+    all_cells = [cell for _, cells in grids for cell in cells]
+    if args.list_cells:
+        for panel, cells in grids:
+            for cell in cells:
+                axis_value = fig13_axis_value(panel, cell.to_dict())
+                print(f"{panel}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} axis={axis_value:g}")
+        print(f"{len(all_cells)} cells")
+        return 0
+
+    store = ResultStore(args.out)
+    store.load()
+    n_corrupt = store.n_corrupt
+    runner = ParallelRunner(jobs=args.jobs, store=store)
+    report = runner.run(all_cells, resume=not args.no_resume)
+
+    offset = 0
+    for panel, cells in grids:
+        panel_results = report.results[offset : offset + len(cells)]
+        offset += len(cells)
+        _, title = FIG13_PANELS[panel]
+        table = sweep_table(
+            f"Fig 13{panel} -- {title} [hit %]",
+            panel_results,
+            column_of=lambda r, p=panel: fig13_axis_value(p, r.spec),
+            row_of=lambda r: r.prefetcher_kind,
+            value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+            figure_id=f"fig13{panel}",
+        )
+        print()
+        print(table.render())
+
+    print()
+    print(
+        f"cells {len(all_cells)}  computed {report.n_computed}  "
+        f"resumed {report.n_skipped}  corrupt-dropped {n_corrupt}  "
+        f"jobs {args.jobs}  elapsed {report.elapsed_seconds:.1f}s"
+    )
+    print(f"store: {store.path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_command(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return _run_command(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via entry point

@@ -10,14 +10,40 @@ prefetched incrementally until the window closes.
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.metrics import QueryRecord, SequenceMetrics, AggregateMetrics, aggregate
 from repro.sim.experiment import ExperimentResult, run_experiment
+from repro.sim.results import CellResult, ResultStore, cell_key
+from repro.sim.runner import (
+    CellSpec,
+    DatasetSpec,
+    ExperimentMatrix,
+    IndexSpec,
+    ParallelRunner,
+    PrefetcherSpec,
+    RunReport,
+    WorkloadSpec,
+    run_cell,
+    warm_cell_resources,
+)
 
 __all__ = [
     "AggregateMetrics",
+    "CellResult",
+    "CellSpec",
+    "DatasetSpec",
+    "ExperimentMatrix",
     "ExperimentResult",
+    "IndexSpec",
+    "ParallelRunner",
+    "PrefetcherSpec",
     "QueryRecord",
+    "ResultStore",
+    "RunReport",
     "SequenceMetrics",
     "SimulationConfig",
     "SimulationEngine",
+    "WorkloadSpec",
     "aggregate",
+    "cell_key",
+    "run_cell",
     "run_experiment",
+    "warm_cell_resources",
 ]

@@ -197,40 +197,67 @@ class SimulationEngine:
     ) -> tuple[int, float]:
         """Spend the window on the plan; returns (pages read, seconds).
 
+        The budget is split share-proportionally across targets and spent
+        in passes: each pass grants every still-active target its share
+        of the budget remaining at the start of the pass, plus whatever
+        earlier targets in the same pass left unspent.  A target whose
+        region iterator runs dry drops out, and the next pass re-grants
+        the leftover to the targets that can still spend -- so one dead
+        target cannot strand window time that live targets could use
+        (§5.1 prefetches until the window closes whenever predicted data
+        remains).
+
         Each incremental region's missing pages are read as one batch so
         contiguous page runs earn the sequential discount, exactly like
-        residual query I/O does.
+        residual query I/O does; the batch that crosses the budget line
+        is trimmed so the window is overshot by at most one page read.
         """
         if not targets:
             return 0, 0.0
-        total_share = sum(t.share for t in targets) or 1.0
         side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
+        states = [
+            {"share": t.share, "regions": self._incremental_regions(t, side), "done": False}
+            for t in targets
+        ]
 
         pages_read = 0
         seconds = 0.0
         remaining = budget
-        carry = 0.0
-        for target in targets:
-            if remaining <= 0:
+        while remaining > 1e-12:
+            active = [s for s in states if not s["done"]]
+            if not active:
                 break
-            allotment = budget * (target.share / total_share) + carry
-            spent = 0.0
-            for region in self._incremental_regions(target, side):
-                if spent >= allotment or remaining <= 0:
+            total_share = sum(s["share"] for s in active) or 1.0
+            pass_budget = remaining
+            advanced = False
+            carry = 0.0
+            for state in active:
+                if remaining <= 0:
                     break
-                batch = []
-                for page in self.index.pages_for_region(region):
-                    page = int(page)
-                    if page in cache:
+                allotment = pass_budget * (state["share"] / total_share) + carry
+                spent = 0.0
+                while spent < allotment and remaining > 0:
+                    region = next(state["regions"], None)
+                    if region is None:
+                        state["done"] = True
+                        break
+                    advanced = True
+                    batch = []
+                    for page in self.index.pages_for_region(region):
+                        page = int(page)
+                        if page in cache:
+                            continue
+                        batch.append(page)
+                    if not batch:
                         continue
-                    batch.append(page)
-                if not batch:
-                    continue
-                cost = disk.read_pages(batch)
-                spent += cost
-                remaining -= cost
-                seconds += cost
-                pages_read += len(batch)
-                cache.insert_many(batch)
-            carry = max(0.0, allotment - spent)
+                    batch = disk.trim_to_budget(batch, remaining)
+                    cost = disk.read_pages(batch)
+                    spent += cost
+                    remaining -= cost
+                    seconds += cost
+                    pages_read += len(batch)
+                    cache.insert_many(batch)
+                carry = max(0.0, allotment - spent)
+            if not advanced:
+                break
         return pages_read, seconds

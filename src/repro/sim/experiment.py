@@ -1,9 +1,13 @@
-"""Experiment helpers: run prefetchers over sequence batches.
+"""The single-cell experiment primitive.
 
 One *experiment cell* is (dataset, index, workload spec, prefetcher);
-its result aggregates the per-sequence metrics the paper plots.  The
-figure-level benchmarks in ``benchmarks/`` are thin loops over these
-helpers.
+its result aggregates the per-sequence metrics the paper plots.
+:func:`run_experiment` executes exactly one cell on already-built
+objects -- it is the primitive that :mod:`repro.sim.runner` schedules
+(serially or across a process pool) and that the figure benchmarks in
+``benchmarks/`` call directly when they already hold a dataset fixture.
+Cells never share engine or cache state, which is what makes them safe
+to fan out.
 """
 
 from __future__ import annotations
@@ -47,7 +51,11 @@ def run_experiment(
 
     Caches are cold per sequence, as in §7.1 ("After executing each
     sequence of queries, we clear the prefetch cache, the operating
-    system cache and the disk buffers").
+    system cache and the disk buffers").  Pure with respect to its
+    arguments aside from the prefetcher's own per-sequence state (reset
+    via ``begin_sequence``), so repeated calls with equal inputs yield
+    bit-identical metrics -- the property the parallel runner's
+    serial-vs-parallel determinism guarantee rests on.
     """
     if not sequences:
         raise ValueError("run_experiment() needs at least one sequence")

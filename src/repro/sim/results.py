@@ -1,0 +1,254 @@
+"""Persisted experiment results: content-addressed JSON-lines store.
+
+Every experiment cell is identified by the **content hash** of its
+declarative spec (see :mod:`repro.sim.runner`): the spec is serialized
+to canonical JSON (sorted keys, no whitespace) and hashed with SHA-256.
+Two cells with the same datasets, indexes, workloads, prefetchers,
+seeds and simulator knobs therefore share a key regardless of where or
+when they run -- which is what makes results *resumable*: a sweep that
+finds a cell's key already in the store reuses the stored metrics
+instead of re-simulating.
+
+The store itself is one JSON-lines file (one record per line), chosen
+over a database for three properties the orchestrator needs:
+
+* **append-only writes** -- the parent process appends each finished
+  cell as soon as its worker returns, so an interrupted sweep keeps
+  everything computed so far;
+* **corruption locality** -- a truncated or garbled line (e.g. from a
+  crash mid-write) invalidates only that record.  :meth:`ResultStore.load`
+  verifies each line (JSON validity, schema version, spec-hash/key
+  agreement, metric fields) and silently drops bad records, counting
+  them in :attr:`ResultStore.n_corrupt`; the runner then recomputes just
+  those cells;
+* **greppability** -- results are plain text, one cell per line.
+
+Duplicate keys are legal (re-runs append); the last record wins, so a
+recomputed cell supersedes a corrupt or stale one on the next load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.sim.metrics import AggregateMetrics
+
+__all__ = [
+    "CellResult",
+    "ResultStore",
+    "canonical_json",
+    "cell_key",
+    "metrics_from_dict",
+    "metrics_to_dict",
+]
+
+#: Store schema version; bump when the record layout changes so old
+#: stores are recomputed rather than misread.
+STORE_SCHEMA = 1
+
+#: Fields every persisted metrics dict must carry (mirrors
+#: :class:`~repro.sim.metrics.AggregateMetrics`).
+_METRIC_FIELDS = (
+    "n_sequences",
+    "cache_hit_rate",
+    "hit_rate_std",
+    "speedup",
+    "response_seconds",
+    "cold_seconds",
+    "graph_build_seconds",
+    "prediction_seconds",
+    "per_sequence_hit_rates",
+)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing and cache keys."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(spec: Mapping[str, Any]) -> str:
+    """Content hash of a cell-spec dict (hex SHA-256)."""
+    return hashlib.sha256(canonical_json(spec).encode("utf-8")).hexdigest()
+
+
+def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
+    """JSON-safe dict of one cell's aggregate metrics.
+
+    An infinite speedup (zero residual I/O) is stored as ``null``;
+    :func:`metrics_from_dict` restores it.
+    """
+    speedup = metrics.speedup
+    return {
+        "n_sequences": metrics.n_sequences,
+        "cache_hit_rate": metrics.cache_hit_rate,
+        "hit_rate_std": metrics.hit_rate_std,
+        "speedup": None if math.isinf(speedup) else speedup,
+        "response_seconds": metrics.response_seconds,
+        "cold_seconds": metrics.cold_seconds,
+        "graph_build_seconds": metrics.graph_build_seconds,
+        "prediction_seconds": metrics.prediction_seconds,
+        "per_sequence_hit_rates": list(metrics.per_sequence_hit_rates),
+    }
+
+
+def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
+    """Rebuild :class:`AggregateMetrics` from a stored record."""
+    speedup = data["speedup"]
+    return AggregateMetrics(
+        n_sequences=int(data["n_sequences"]),
+        cache_hit_rate=float(data["cache_hit_rate"]),
+        hit_rate_std=float(data["hit_rate_std"]),
+        speedup=float("inf") if speedup is None else float(speedup),
+        response_seconds=float(data["response_seconds"]),
+        cold_seconds=float(data["cold_seconds"]),
+        graph_build_seconds=float(data["graph_build_seconds"]),
+        prediction_seconds=float(data["prediction_seconds"]),
+        per_sequence_hit_rates=[float(r) for r in data["per_sequence_hit_rates"]],
+    )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One experiment cell's persisted outcome."""
+
+    key: str
+    spec: dict
+    metrics: AggregateMetrics
+    elapsed_seconds: float = 0.0
+
+    @property
+    def prefetcher_kind(self) -> str:
+        return self.spec["prefetcher"]["kind"]
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "schema": STORE_SCHEMA,
+            "key": self.key,
+            "spec": self.spec,
+            "metrics": metrics_to_dict(self.metrics),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "CellResult":
+        return cls(
+            key=record["key"],
+            spec=dict(record["spec"]),
+            metrics=metrics_from_dict(record["metrics"]),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+        )
+
+
+def _validate_record(record: Any) -> bool:
+    """True when a parsed store line is a usable result record."""
+    if not isinstance(record, dict):
+        return False
+    if record.get("schema") != STORE_SCHEMA:
+        return False
+    spec = record.get("spec")
+    key = record.get("key")
+    if not isinstance(spec, dict) or not isinstance(key, str):
+        return False
+    if cell_key(spec) != key:
+        # Tampered or bit-rotted: the spec no longer matches its hash.
+        return False
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        return False
+    return all(field in metrics for field in _METRIC_FIELDS)
+
+
+class ResultStore:
+    """JSON-lines store of :class:`CellResult` records, keyed by spec hash."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._results: dict[str, CellResult] = {}
+        self._loaded = False
+        #: Lines dropped by the last :meth:`load` (corrupt JSON, schema
+        #: mismatch, key/spec disagreement, missing metric fields).
+        self.n_corrupt = 0
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self, reload: bool = False) -> dict[str, CellResult]:
+        """Parse the store file, dropping (and counting) corrupt lines."""
+        if self._loaded and not reload:
+            return self._results
+        self._results = {}
+        self.n_corrupt = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        self.n_corrupt += 1
+                        continue
+                    if not _validate_record(record):
+                        self.n_corrupt += 1
+                        continue
+                    try:
+                        result = CellResult.from_record(record)
+                    except (KeyError, TypeError, ValueError):
+                        self.n_corrupt += 1
+                        continue
+                    self._results[result.key] = result
+        self._loaded = True
+        return self._results
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def get(self, key: str) -> CellResult | None:
+        return self.load().get(key)
+
+    def keys(self) -> set[str]:
+        return set(self.load())
+
+    def results(self) -> list[CellResult]:
+        return list(self.load().values())
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, result: CellResult) -> None:
+        """Append one record and update the in-memory view."""
+        self.load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as fh:
+            # A crash mid-write can leave the file without a trailing
+            # newline; writing straight on would glue this record onto
+            # the partial line and corrupt both.
+            fh.seek(0, 2)
+            if fh.tell() > 0:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write((json.dumps(result.to_record()) + "\n").encode("utf-8"))
+        self._results[result.key] = result
+
+    def compact(self) -> int:
+        """Rewrite the file without corrupt or superseded lines.
+
+        Returns the number of records kept.  Useful after long resumed
+        sweeps have accumulated duplicate or damaged lines.
+        """
+        results = self.load(reload=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for result in results.values():
+                fh.write(json.dumps(result.to_record()) + "\n")
+        tmp.replace(self.path)
+        self.n_corrupt = 0
+        return len(results)

@@ -1,0 +1,469 @@
+"""Parallel experiment orchestration over declarative cell grids.
+
+The paper's evaluation (§7, Figs 10-17) is a grid of *experiment cells*
+-- (dataset, index, workload, prefetcher, seed) -- that the seed repo
+ran as hand-rolled serial loops.  This module makes the grid a value:
+
+* :class:`DatasetSpec` / :class:`IndexSpec` / :class:`WorkloadSpec` /
+  :class:`PrefetcherSpec` name one axis point each.  They are small
+  picklable descriptions (kind + scalar params), **not** live objects:
+  nothing heavy ever crosses a process boundary.
+* :class:`CellSpec` combines one point per axis.  Its canonical-JSON
+  SHA-256 (:meth:`CellSpec.key`) is the identity used by the persisted
+  :class:`~repro.sim.results.ResultStore` for resume-from-store.
+* :class:`ExperimentMatrix` is the cross product of axis lists and
+  yields cells in a deterministic order.
+* :class:`ParallelRunner` fans cells out over a ``concurrent.futures``
+  process pool.  Workers rebuild dataset/index from the spec (with a
+  small per-process memo so sibling cells share the build) and run
+  :func:`repro.sim.experiment.run_experiment`, the single-cell
+  primitive.
+
+Determinism: a cell's metrics depend only on its spec -- the dataset
+builder, sequence generator and prefetchers are all explicitly seeded
+from spec fields, and cells share no mutable state -- so ``jobs=1`` and
+``jobs=N`` produce bit-identical metrics, and a resumed run is
+indistinguishable from a fresh one.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.baselines import (
+    EWMAPrefetcher,
+    HilbertPrefetcher,
+    LayeredPrefetcher,
+    NoPrefetcher,
+    OraclePrefetcher,
+    PolynomialPrefetcher,
+    StraightLinePrefetcher,
+    VelocityPrefetcher,
+)
+from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
+from repro.datagen import (
+    make_arterial_tree,
+    make_lung_airways,
+    make_neuron_tissue,
+    make_road_network,
+)
+from repro.index import FlatIndex, GridIndex, STRTree
+from repro.sim.engine import SimulationConfig
+from repro.sim.experiment import run_experiment
+from repro.sim.results import CellResult, ResultStore, canonical_json, cell_key
+from repro.storage.disk import DiskParameters
+from repro.workload.sequence import generate_sequences
+
+__all__ = [
+    "CellSpec",
+    "DatasetSpec",
+    "ExperimentMatrix",
+    "IndexSpec",
+    "ParallelRunner",
+    "PrefetcherSpec",
+    "RunReport",
+    "WorkloadSpec",
+    "run_cell",
+    "warm_cell_resources",
+]
+
+
+# -- axis specs --------------------------------------------------------------------
+
+_DATASET_BUILDERS: dict[str, Callable[..., Any]] = {
+    "neuron": make_neuron_tissue,
+    "arterial": make_arterial_tree,
+    "lung": make_lung_airways,
+    "roads": make_road_network,
+}
+
+_INDEX_BUILDERS: dict[str, Callable[..., Any]] = {
+    "flat": FlatIndex,
+    "rtree": STRTree,
+    "grid": GridIndex,
+}
+
+_PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
+    "scout": lambda ds, ix, p: ScoutPrefetcher(ds, ScoutConfig(**p)),
+    "scout-opt": lambda ds, ix, p: ScoutOptPrefetcher(ds, ix, ScoutConfig(**p)),
+    "ewma": lambda ds, ix, p: EWMAPrefetcher(**p),
+    "straight-line": lambda ds, ix, p: StraightLinePrefetcher(**p),
+    "velocity": lambda ds, ix, p: VelocityPrefetcher(**p),
+    "polynomial": lambda ds, ix, p: PolynomialPrefetcher(**p),
+    "hilbert": lambda ds, ix, p: HilbertPrefetcher(ds, **p),
+    "layered": lambda ds, ix, p: LayeredPrefetcher(ds, **p),
+    "none": lambda ds, ix, p: NoPrefetcher(),
+    "oracle": lambda ds, ix, p: OraclePrefetcher(),
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset generator call: kind + scalar keyword params."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DATASET_BUILDERS:
+            known = ", ".join(sorted(_DATASET_BUILDERS))
+            raise ValueError(f"unknown dataset kind {self.kind!r}; known: {known}")
+
+    def build(self):
+        return _DATASET_BUILDERS[self.kind](**dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A spatial-index build over the cell's dataset."""
+
+    kind: str = "flat"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _INDEX_BUILDERS:
+            known = ", ".join(sorted(_INDEX_BUILDERS))
+            raise ValueError(f"unknown index kind {self.kind!r}; known: {known}")
+
+    def build(self, dataset):
+        return _INDEX_BUILDERS[self.kind](dataset, **dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Guided-sequence generation parameters (paper Fig 10 columns)."""
+
+    n_sequences: int
+    n_queries: int
+    volume: float
+    gap: float = 0.0
+    aspect: str = "cube"
+    window_ratio: float = 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        # Numeric coercion keeps the canonical JSON (and hence the cell
+        # key) stable between e.g. volume=80000 and volume=80000.0.
+        return {
+            "n_sequences": int(self.n_sequences),
+            "n_queries": int(self.n_queries),
+            "volume": float(self.volume),
+            "gap": float(self.gap),
+            "aspect": self.aspect,
+            "window_ratio": float(self.window_ratio),
+        }
+
+
+@dataclass(frozen=True)
+class PrefetcherSpec:
+    """A prefetcher construction: kind + constructor params.
+
+    ``scout`` / ``scout-opt`` params are :class:`ScoutConfig` fields;
+    baseline params are their constructor keywords (e.g. ``lam`` for
+    ``ewma``).
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PREFETCHER_BUILDERS:
+            known = ", ".join(sorted(_PREFETCHER_BUILDERS))
+            raise ValueError(f"unknown prefetcher kind {self.kind!r}; known: {known}")
+
+    def build(self, dataset, index):
+        return _PREFETCHER_BUILDERS[self.kind](dataset, index, dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell, fully declarative and picklable.
+
+    ``seed`` feeds :func:`generate_sequences`, which derives one child
+    RNG per sequence -- per-cell seeding is therefore deterministic and
+    independent of which worker runs the cell or in what order.
+    ``sim`` holds :class:`SimulationConfig` overrides (with an optional
+    nested ``"disk"`` dict of :class:`DiskParameters` fields).
+    """
+
+    dataset: DatasetSpec
+    index: IndexSpec
+    workload: WorkloadSpec
+    prefetcher: PrefetcherSpec
+    seed: int = 0
+    sim: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset.to_dict(),
+            "index": self.index.to_dict(),
+            "workload": self.workload.to_dict(),
+            "prefetcher": self.prefetcher.to_dict(),
+            "seed": int(self.seed),
+            "sim": dict(self.sim),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
+        return cls(
+            dataset=DatasetSpec(data["dataset"]["kind"], dict(data["dataset"]["params"])),
+            index=IndexSpec(data["index"]["kind"], dict(data["index"]["params"])),
+            workload=WorkloadSpec(**data["workload"]),
+            prefetcher=PrefetcherSpec(
+                data["prefetcher"]["kind"], dict(data["prefetcher"]["params"])
+            ),
+            seed=int(data["seed"]),
+            sim=dict(data.get("sim", {})),
+        )
+
+    def key(self) -> str:
+        """Content hash identifying this cell in the result store."""
+        return cell_key(self.to_dict())
+
+
+@dataclass(frozen=True)
+class ExperimentMatrix:
+    """A declarative cell grid: the cross product of axis lists.
+
+    Cells enumerate in a fixed nested order (dataset, index, workload,
+    prefetcher, seed), so tables built from a matrix's results line up
+    with its axes.  Matrices are cheap values; union several with
+    ``list(m1) + list(m2)`` to express composite sweeps such as the
+    Fig-13 panel collection.
+    """
+
+    datasets: tuple[DatasetSpec, ...]
+    indexes: tuple[IndexSpec, ...]
+    workloads: tuple[WorkloadSpec, ...]
+    prefetchers: tuple[PrefetcherSpec, ...]
+    seeds: tuple[int, ...] = (0,)
+    sim: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("datasets", "indexes", "workloads", "prefetchers", "seeds"):
+            if not getattr(self, name):
+                raise ValueError(f"matrix axis {name!r} must not be empty")
+
+    def cells(self) -> list[CellSpec]:
+        grid = []
+        for dataset in self.datasets:
+            for index in self.indexes:
+                for workload in self.workloads:
+                    for prefetcher in self.prefetchers:
+                        for seed in self.seeds:
+                            grid.append(
+                                CellSpec(
+                                    dataset=dataset,
+                                    index=index,
+                                    workload=workload,
+                                    prefetcher=prefetcher,
+                                    seed=seed,
+                                    sim=self.sim,
+                                )
+                            )
+        return grid
+
+    def __iter__(self) -> Iterator[CellSpec]:
+        return iter(self.cells())
+
+    def __len__(self) -> int:
+        return (
+            len(self.datasets)
+            * len(self.indexes)
+            * len(self.workloads)
+            * len(self.prefetchers)
+            * len(self.seeds)
+        )
+
+
+# -- the single-cell primitive ------------------------------------------------------
+
+#: Per-process memo of built datasets/indexes.  Sibling cells in one
+#: worker (or a serial run) share heavy builds; entries are evicted
+#: least-recently-built so long mixed sweeps stay bounded.
+_MEMO_CAP = 8
+_dataset_memo: OrderedDict[str, Any] = OrderedDict()
+_index_memo: OrderedDict[str, Any] = OrderedDict()
+
+
+def _memoized(memo: OrderedDict, key: str, build: Callable[[], Any]):
+    if key in memo:
+        memo.move_to_end(key)
+        return memo[key]
+    value = build()
+    memo[key] = value
+    while len(memo) > _MEMO_CAP:
+        memo.popitem(last=False)
+    return value
+
+
+def _sim_config(sim: Mapping[str, Any]) -> SimulationConfig | None:
+    if not sim:
+        return None
+    kwargs = dict(sim)
+    disk = kwargs.pop("disk", None)
+    if disk is not None:
+        kwargs["disk"] = DiskParameters(**disk)
+    return SimulationConfig(**kwargs)
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one experiment cell from its declarative spec.
+
+    This is the unit of work :class:`ParallelRunner` schedules; it
+    rebuilds (memoized) dataset and index, generates the cell's guided
+    sequences, and delegates to :func:`run_experiment`.
+    """
+    started = time.perf_counter()
+    dataset_key = canonical_json(spec.dataset.to_dict())
+    dataset = _memoized(_dataset_memo, dataset_key, spec.dataset.build)
+    index_key = dataset_key + "|" + canonical_json(spec.index.to_dict())
+    index = _memoized(_index_memo, index_key, lambda: spec.index.build(dataset))
+
+    w = spec.workload
+    sequences = generate_sequences(
+        dataset,
+        n_sequences=w.n_sequences,
+        seed=spec.seed,
+        n_queries=w.n_queries,
+        volume=w.volume,
+        gap=w.gap,
+        aspect=w.aspect,
+        window_ratio=w.window_ratio,
+    )
+    prefetcher = spec.prefetcher.build(dataset, index)
+    outcome = run_experiment(index, sequences, prefetcher, _sim_config(spec.sim))
+    return CellResult(
+        key=spec.key(),
+        spec=spec.to_dict(),
+        metrics=outcome.metrics,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def warm_cell_resources(cells: Iterable[CellSpec]) -> None:
+    """Pre-build the cells' datasets and indexes into the process memo.
+
+    Benchmarks call this before timing so the measured region covers
+    simulation only, not dataset/index construction.
+    """
+    for spec in cells:
+        dataset_key = canonical_json(spec.dataset.to_dict())
+        dataset = _memoized(_dataset_memo, dataset_key, spec.dataset.build)
+        index_key = dataset_key + "|" + canonical_json(spec.index.to_dict())
+        _memoized(_index_memo, index_key, lambda: spec.index.build(dataset))
+
+
+def _run_cell_record(spec_dict: dict) -> dict:
+    """Worker entry point: plain dicts in, plain dicts out."""
+    return run_cell(CellSpec.from_dict(spec_dict)).to_record()
+
+
+# -- the runner ---------------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """What a :meth:`ParallelRunner.run` call did."""
+
+    results: list[CellResult]
+    computed_keys: list[str]
+    skipped_keys: list[str]
+    elapsed_seconds: float
+
+    @property
+    def n_computed(self) -> int:
+        return len(self.computed_keys)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped_keys)
+
+
+class ParallelRunner:
+    """Fans experiment cells out over a process pool.
+
+    ``jobs=1`` runs cells in-process (no pool, no pickling) -- the
+    reference serial path.  ``jobs>1`` uses a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; only spec dicts
+    and metric records cross process boundaries.  With a ``store``,
+    finished cells are appended as soon as they complete and, when
+    ``resume`` is on, cells whose key is already stored are skipped.
+    """
+
+    def __init__(self, jobs: int = 1, store: ResultStore | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self.store = store
+
+    def run(
+        self,
+        cells: ExperimentMatrix | Iterable[CellSpec],
+        resume: bool = True,
+        progress: Callable[[CellResult], None] | None = None,
+    ) -> RunReport:
+        """Run (or reuse) every cell; results come back in cell order.
+
+        Duplicate cells (same key) are computed once and share one
+        result.  Returns a :class:`RunReport` whose ``results`` list is
+        parallel to the input cell list.
+        """
+        started = time.perf_counter()
+        specs = list(cells.cells() if isinstance(cells, ExperimentMatrix) else cells)
+        keys = [spec.key() for spec in specs]
+
+        done: dict[str, CellResult] = {}
+        skipped: list[str] = []
+        if resume and self.store is not None:
+            stored = self.store.load(reload=True)
+            for key in dict.fromkeys(keys):
+                if key in stored:
+                    done[key] = stored[key]
+                    skipped.append(key)
+
+        todo: list[CellSpec] = []
+        seen: set[str] = set(done)
+        for spec, key in zip(specs, keys):
+            if key not in seen:
+                seen.add(key)
+                todo.append(spec)
+
+        computed: list[str] = []
+        if todo:
+            for result in self._compute(todo):
+                done[result.key] = result
+                computed.append(result.key)
+                if self.store is not None:
+                    self.store.append(result)
+                if progress is not None:
+                    progress(result)
+
+        return RunReport(
+            results=[done[key] for key in keys],
+            computed_keys=computed,
+            skipped_keys=skipped,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _compute(self, specs: list[CellSpec]) -> Iterator[CellResult]:
+        if self.jobs == 1 or len(specs) == 1:
+            for spec in specs:
+                yield run_cell(spec)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+            futures = [pool.submit(_run_cell_record, spec.to_dict()) for spec in specs]
+            for future in as_completed(futures):
+                yield CellResult.from_record(future.result())

@@ -120,6 +120,35 @@ class DiskModel:
         self.stats.seconds_busy += elapsed
         return elapsed
 
+    def trim_to_budget(
+        self, page_ids: Sequence[int] | Iterable[int], budget_s: float
+    ) -> list[int]:
+        """Longest sorted prefix of the pages readable within ``budget_s``.
+
+        Models the window closing mid-batch: the page read in flight when
+        the budget runs out still completes, so when the pages are
+        trimmed at all, the result includes exactly the page that crossed
+        the budget line -- the caller overshoots by at most one page
+        read.  Does not charge time or move the head; call
+        :meth:`read_pages` on the result to do that.
+        """
+        pages = sorted(set(int(p) for p in page_ids))
+        params = self.params
+        kept: list[int] = []
+        cost = 0.0
+        previous = self._last_page
+        for page in pages:
+            if params.sequential_discount and previous is not None and page == previous + 1:
+                step = params.transfer_s_per_page
+            else:
+                step = params.positioning_s / params.stripe_ways + params.transfer_s_per_page
+            cost += step
+            kept.append(page)
+            previous = page
+            if cost >= budget_s:
+                break
+        return kept
+
     def cost_if_cold(self, page_ids: Sequence[int] | Iterable[int]) -> float:
         """Time to read the pages from a cold start, without charging it.
 

@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 __all__ = [
+    "FIG13_PANELS",
     "SENSITIVITY_DEFAULTS",
     "SweepDefaults",
     "fig13_axes",
+    "fig13_axis_value",
+    "fig13_matrix",
     "scale_factor",
 ]
 
@@ -68,3 +72,133 @@ def fig13_axes() -> dict[str, list]:
         "e_grid_resolution": [32_768, 4_096, 512, 64, 8],
         "f_gap_distance": [10.0, 15.0, 20.0, 25.0],
     }
+
+
+# -- the Fig-13 grid as experiment matrices -----------------------------------------
+
+#: Panel letter -> (axis key in :func:`fig13_axes`, human title).
+FIG13_PANELS: dict[str, tuple[str, str]] = {
+    "a": ("a_query_volume", "accuracy vs query volume"),
+    "b": ("b_density_neurons", "accuracy vs dataset density"),
+    "c": ("c_sequence_length", "accuracy vs sequence length"),
+    "d": ("d_window_ratio", "accuracy vs prefetch window ratio"),
+    "e": ("e_grid_resolution", "accuracy vs grid resolution"),
+    "f": ("f_gap_distance", "accuracy vs gap distance"),
+}
+
+
+def fig13_matrix(
+    panel: str,
+    *,
+    n_neurons: int | None = None,
+    n_sequences: int | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 13,
+    fanout: int = 16,
+    axis: Sequence[Any] | None = None,
+    density_extent: float = 700.0,
+    density_seed: int = 13,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+):
+    """One Fig-13 panel as a declarative :class:`ExperimentMatrix`.
+
+    Every panel fixes the §7.4 defaults and varies one axis: (a) the
+    query volume, (b) the dataset density (neuron count at fixed tissue
+    extent), (c) the sequence length, (d) the prefetch-window ratio,
+    (e) SCOUT's grid resolution, (f) the gap distance (where SCOUT-OPT
+    joins SCOUT as a second prefetcher row).  ``axis`` overrides the
+    paper's tick values, e.g. to truncate a panel for a smoke run.
+
+    The returned matrix is pure data; run it with
+    :class:`repro.sim.ParallelRunner` (cells are keyed by content hash,
+    so repeated runs resume from the store).
+    """
+    # Imported here: repro.sim.runner imports repro.workload.sequence,
+    # so a module-level import would be circular through repro.sim.
+    from repro.sim.runner import (
+        DatasetSpec,
+        ExperimentMatrix,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+
+    if panel not in FIG13_PANELS:
+        known = ", ".join(sorted(FIG13_PANELS))
+        raise ValueError(f"unknown Fig-13 panel {panel!r}; known: {known}")
+    axis_key, _ = FIG13_PANELS[panel]
+    values = list(fig13_axes()[axis_key] if axis is None else axis)
+    if not values:
+        raise ValueError(f"panel {panel!r} axis must not be empty")
+    n_neurons = defaults.n_neurons if n_neurons is None else int(n_neurons)
+    n_sequences = defaults.n_sequences if n_sequences is None else int(n_sequences)
+
+    def workload(**overrides: Any) -> "WorkloadSpec":
+        merged: dict[str, Any] = dict(
+            n_sequences=n_sequences,
+            n_queries=defaults.n_queries,
+            volume=defaults.volume,
+            gap=defaults.gap,
+            aspect=defaults.aspect,
+            window_ratio=defaults.window_ratio,
+        )
+        merged.update(overrides)
+        return WorkloadSpec(**merged)
+
+    datasets = (DatasetSpec("neuron", {"n_neurons": n_neurons, "seed": dataset_seed}),)
+    indexes = (IndexSpec("flat", {"fanout": fanout}),)
+    workloads = (workload(),)
+    prefetchers = (PrefetcherSpec("scout"),)
+
+    if panel == "a":
+        workloads = tuple(workload(volume=float(v)) for v in values)
+    elif panel == "b":
+        # Fixed tissue volume, growing object count = growing density
+        # (the paper adds 50M objects to the same 285 mm^3).
+        datasets = tuple(
+            DatasetSpec(
+                "neuron",
+                {"n_neurons": int(n), "seed": density_seed, "extent": float(density_extent)},
+            )
+            for n in values
+        )
+    elif panel == "c":
+        workloads = tuple(workload(n_queries=int(n)) for n in values)
+    elif panel == "d":
+        workloads = tuple(workload(window_ratio=float(r)) for r in values)
+    elif panel == "e":
+        prefetchers = tuple(
+            PrefetcherSpec("scout", {"grid_resolution": int(r)}) for r in values
+        )
+    elif panel == "f":
+        workloads = tuple(workload(gap=float(g)) for g in values)
+        prefetchers = (PrefetcherSpec("scout"), PrefetcherSpec("scout-opt"))
+
+    return ExperimentMatrix(
+        datasets=datasets,
+        indexes=indexes,
+        workloads=workloads,
+        prefetchers=prefetchers,
+        seeds=(workload_seed,),
+    )
+
+
+def fig13_axis_value(panel: str, spec: Mapping[str, Any]):
+    """The varying-axis value of one cell-spec dict of a Fig-13 panel.
+
+    Used to label table columns when rendering stored sweep results.
+    """
+    if panel == "a":
+        return spec["workload"]["volume"]
+    if panel == "b":
+        return spec["dataset"]["params"]["n_neurons"]
+    if panel == "c":
+        return spec["workload"]["n_queries"]
+    if panel == "d":
+        return spec["workload"]["window_ratio"]
+    if panel == "e":
+        return spec["prefetcher"]["params"].get("grid_resolution", 4096)
+    if panel == "f":
+        return spec["workload"]["gap"]
+    known = ", ".join(sorted(FIG13_PANELS))
+    raise ValueError(f"unknown Fig-13 panel {panel!r}; known: {known}")

@@ -2,9 +2,15 @@
 
 import pytest
 
-from repro.analysis import ResultTable, format_row, paper_reference
+from repro.analysis import ResultTable, format_row, paper_reference, sweep_table
 from repro.cli import main
-from repro.workload.sweeps import SENSITIVITY_DEFAULTS, fig13_axes, scale_factor
+from repro.workload.sweeps import (
+    SENSITIVITY_DEFAULTS,
+    fig13_axes,
+    fig13_axis_value,
+    fig13_matrix,
+    scale_factor,
+)
 
 
 class TestResultTable:
@@ -70,11 +76,78 @@ class TestSweeps:
             scale_factor()
 
 
+class TestSweepTable:
+    def make_results(self):
+        return [
+            {"row": "scout", "x": 0.1, "v": 29.0},
+            {"row": "scout", "x": 2.5, "v": 88.0},
+            {"row": "ewma", "x": 0.1, "v": 20.0},
+        ]
+
+    def test_pivots_rows_and_columns_in_first_appearance_order(self):
+        table = sweep_table(
+            "demo",
+            self.make_results(),
+            column_of=lambda r: r["x"],
+            row_of=lambda r: r["row"],
+            value_of=lambda r: r["v"],
+        )
+        assert table.columns == ["0.1", "2.5"]
+        assert table.row_values("scout") == [29.0, 88.0]
+
+    def test_missing_cells_render_blank(self):
+        table = sweep_table(
+            "demo",
+            self.make_results(),
+            column_of=lambda r: r["x"],
+            row_of=lambda r: r["row"],
+            value_of=lambda r: r["v"],
+        )
+        assert table.row_values("ewma") == [20.0, None]
+        assert "ewma" in table.render()
+
+
+class TestFig13Matrix:
+    def test_every_panel_has_axis_sized_grid(self):
+        axes = fig13_axes()
+        for panel, axis_key in [
+            ("a", "a_query_volume"),
+            ("b", "b_density_neurons"),
+            ("c", "c_sequence_length"),
+            ("d", "d_window_ratio"),
+            ("e", "e_grid_resolution"),
+        ]:
+            matrix = fig13_matrix(panel, n_neurons=6, n_sequences=2)
+            assert len(matrix) == len(axes[axis_key]), panel
+
+    def test_gap_panel_pairs_scout_with_scout_opt(self):
+        matrix = fig13_matrix("f", n_neurons=6, n_sequences=2)
+        kinds = {cell.prefetcher.kind for cell in matrix}
+        assert kinds == {"scout", "scout-opt"}
+        assert len(matrix) == 2 * len(fig13_axes()["f_gap_distance"])
+
+    def test_axis_values_recoverable_from_specs(self):
+        axis = [0.5, 1.5]
+        matrix = fig13_matrix("d", n_neurons=6, n_sequences=2, axis=axis)
+        values = [fig13_axis_value("d", cell.to_dict()) for cell in matrix]
+        assert values == axis
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError, match="panel"):
+            fig13_matrix("z")
+        with pytest.raises(ValueError, match="panel"):
+            fig13_axis_value("z", {})
+
+
 class TestCli:
     def test_list_benchmarks(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "adhoc_stat" in out and "vis_gaps_low" in out
+
+    def test_run_subcommand_is_the_legacy_default(self, capsys):
+        assert main(["run", "--list"]) == 0
+        assert "adhoc_stat" in capsys.readouterr().out
 
     def test_run_small_experiment(self, capsys):
         code = main(
@@ -92,3 +165,66 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "cache hit rate" in out and "speedup" in out
+
+
+class TestSweepCli:
+    SWEEP_ARGS = [
+        "sweep",
+        "--panels", "d",
+        "--points", "2",
+        "--neurons", "6",
+        "--sequences", "2",
+        "--jobs", "1",
+    ]
+
+    def test_sweep_computes_then_resumes(self, capsys, tmp_path):
+        args = self.SWEEP_ARGS + ["--out", str(tmp_path / "sweep.jsonl")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Fig 13d" in out and "computed 2" in out and "resumed 0" in out
+
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "computed 0" in out and "resumed 2" in out
+
+    def test_sweep_no_resume_recomputes(self, capsys, tmp_path):
+        args = self.SWEEP_ARGS + ["--out", str(tmp_path / "sweep.jsonl")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-resume"]) == 0
+        assert "computed 2" in capsys.readouterr().out
+
+    def test_sweep_recovers_from_corrupt_store(self, capsys, tmp_path):
+        store_path = tmp_path / "sweep.jsonl"
+        args = self.SWEEP_ARGS + ["--out", str(store_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        lines = store_path.read_text().splitlines()
+        lines[0] = lines[0][:30]  # truncate: crash mid-write
+        store_path.write_text("\n".join(lines) + "\n")
+
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "computed 1" in out and "resumed 1" in out and "corrupt-dropped 1" in out
+
+    def test_sweep_list_cells(self, capsys, tmp_path):
+        args = self.SWEEP_ARGS + ["--list-cells", "--out", str(tmp_path / "s.jsonl")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "scout" in out
+        assert not (tmp_path / "s.jsonl").exists()
+
+    def test_sweep_rejects_unknown_panel(self, capsys):
+        assert main(["sweep", "--panels", "q"]) == 2
+        assert "unknown panel" in capsys.readouterr().out
+
+    def test_sweep_neurons_rescales_density_panel(self, capsys, tmp_path):
+        # Panel b's axis is the neuron count; --neurons must shrink it
+        # rather than being silently ignored (first tick 40 -> 40*4/80).
+        args = [
+            "sweep", "--panels", "b", "--points", "1", "--neurons", "4",
+            "--sequences", "2", "--list-cells", "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "axis=2" in out and "1 cells" in out

@@ -1,0 +1,118 @@
+"""Property-based tests for the LRU prefetch cache.
+
+`tests/test_storage.py` pins example behaviours; these properties let
+hypothesis search the operation space: the capacity bound must hold
+after *every* operation, eviction must follow least-recently-used
+order against an independent reference model, and bulk insertion must
+be idempotent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.cache import PrefetchCache
+
+#: Small id universe so sequences collide (re-inserts, touch hits).
+page_ids = st.integers(min_value=0, max_value=15)
+capacities = st.integers(min_value=0, max_value=8)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), page_ids),
+        st.tuples(st.just("touch"), page_ids),
+        st.tuples(st.just("insert_many"), st.lists(page_ids, max_size=10)),
+    ),
+    max_size=40,
+)
+
+
+class ModelLRU:
+    """Independent list-based reference model of LRU semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.pages: list[int] = []  # least-recently-used first
+
+    def touch(self, page: int) -> bool:
+        if page in self.pages:
+            self.pages.remove(page)
+            self.pages.append(page)
+            return True
+        return False
+
+    def insert(self, page: int) -> None:
+        if self.capacity == 0:
+            return
+        if page in self.pages:
+            self.pages.remove(page)
+            self.pages.append(page)
+            return
+        while len(self.pages) >= self.capacity:
+            self.pages.pop(0)
+        self.pages.append(page)
+
+
+def apply(cache: PrefetchCache, model: ModelLRU, op) -> None:
+    kind, arg = op
+    if kind == "insert":
+        cache.insert(arg)
+        model.insert(arg)
+    elif kind == "touch":
+        cache.touch(arg)
+        model.touch(arg)
+    else:
+        cache.insert_many(arg)
+        for page in arg:
+            model.insert(page)
+
+
+@settings(deadline=None)
+@given(capacity=capacities, ops=operations)
+def test_capacity_invariant_holds_after_every_operation(capacity, ops):
+    cache = PrefetchCache(capacity)
+    model = ModelLRU(capacity)
+    for op in ops:
+        apply(cache, model, op)
+        assert len(cache) <= cache.capacity_pages
+
+
+@settings(deadline=None)
+@given(capacity=capacities, ops=operations)
+def test_lru_eviction_order_matches_reference_model(capacity, ops):
+    """cached_pages() (LRU-first) tracks the model after every op."""
+    cache = PrefetchCache(capacity)
+    model = ModelLRU(capacity)
+    for op in ops:
+        apply(cache, model, op)
+        assert cache.cached_pages() == model.pages
+
+
+@settings(deadline=None)
+@given(capacity=capacities, prefix=operations, pages=st.lists(page_ids, max_size=12))
+def test_insert_many_is_idempotent(capacity, prefix, pages):
+    """Re-inserting the same batch leaves contents and order unchanged."""
+    cache = PrefetchCache(capacity)
+    model = ModelLRU(capacity)
+    for op in prefix:
+        apply(cache, model, op)
+    cache.insert_many(pages)
+    once = cache.cached_pages()
+    cache.insert_many(pages)
+    assert cache.cached_pages() == once
+
+
+@settings(deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8), pages=st.lists(page_ids, min_size=1))
+def test_distinct_tail_survives_bulk_insert(capacity, pages):
+    """After insert_many, the cache holds the last distinct pages inserted."""
+    cache = PrefetchCache(capacity)
+    cache.insert_many(pages)
+    expected: list[int] = []
+    for page in reversed(pages):  # last occurrences, newest first
+        if page not in expected:
+            expected.append(page)
+        if len(expected) == capacity:
+            break
+    assert cache.cached_pages() == list(reversed(expected))

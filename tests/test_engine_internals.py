@@ -129,3 +129,135 @@ class TestBudgetAccounting:
         assert [r.residual_seconds for r in a.records] == [
             r.residual_seconds for r in b.records
         ]
+
+
+def one_page_seconds(engine) -> float:
+    """Worst-case cost of a single page read under the engine's disk."""
+    params = engine.config.disk
+    return params.positioning_s / params.stripe_ways + params.transfer_s_per_page
+
+
+class TestEngineInvariants:
+    """Window-budget accounting must hold for every query of any sequence.
+
+    Prefetch I/O (gap traversal + plan execution) plus the prediction
+    cost charged against the window may exceed the window by at most the
+    one page read that was in flight when the window closed; and hits
+    can never exceed what the query needed.
+    """
+
+    def prefetchers(self, tissue, index):
+        from repro.baselines import EWMAPrefetcher, HilbertPrefetcher
+        from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
+
+        return [
+            ScoutPrefetcher(tissue, ScoutConfig()),
+            ScoutOptPrefetcher(tissue, index, ScoutConfig()),
+            EWMAPrefetcher(lam=0.3),
+            HilbertPrefetcher(tissue),
+        ]
+
+    @pytest.mark.parametrize("window_ratio", [0.1, 1.0, 2.5])
+    def test_window_budget_never_overshoots(self, engine, tissue, tissue_flat, rng, window_ratio):
+        sequence = generate_sequence(
+            tissue, rng, n_queries=8, volume=30_000.0, window_ratio=window_ratio
+        )
+        slack = one_page_seconds(engine) + 1e-9
+        for prefetcher in self.prefetchers(tissue, tissue_flat):
+            metrics = engine.run(sequence, prefetcher)
+            for r in metrics.records:
+                assert r.pages_hit <= r.pages_needed
+                assert r.objects_hit <= r.objects_needed
+                budget = max(0.0, r.window_seconds - r.prediction_seconds)
+                assert r.prefetch_seconds <= budget + slack, prefetcher.name
+                if r.prediction_seconds <= r.window_seconds:
+                    assert (
+                        r.prefetch_seconds + r.prediction_seconds
+                        <= r.window_seconds + slack
+                    ), prefetcher.name
+
+    def test_gap_io_counts_toward_the_same_window(self, engine, sequence, tissue_flat):
+        pages = list(range(min(200, tissue_flat.n_pages)))
+        prefetcher = FixedPlanPrefetcher([], gap_pages=pages)
+        slack = one_page_seconds(engine) + 1e-9
+        metrics = engine.run(sequence, prefetcher)
+        for r in metrics.records:
+            assert r.prefetch_seconds <= r.window_seconds + slack
+
+
+class TestCarryRedistribution:
+    """Window time a dead target cannot spend goes to targets that can.
+
+    Regression for the single-pass carry bug: carry only flowed forward
+    through the target list, so when a later target ran dry the leftover
+    was discarded even though earlier targets still had regions to grow
+    -- a plan of one live and one dead equal-share target stranded half
+    the window.
+    """
+
+    def make_context(self, engine, tissue, tissue_flat, rng):
+        from repro.storage.cache import PrefetchCache
+        from repro.storage.disk import DiskModel
+
+        sequence = generate_sequence(tissue, rng, n_queries=2, volume=40_000.0)
+        query = sequence.queries[0]
+        cache = PrefetchCache(engine.config.cache_capacity_for(tissue_flat))
+        disk = DiskModel(engine.config.disk)
+        return query, cache, disk
+
+    def live_target(self, query, share=1.0):
+        # Follow the walk tangent: that is where the tissue has data, so
+        # the target's incremental regions keep yielding uncached pages.
+        return PrefetchTarget(anchor=query.center, direction=query.direction, share=share)
+
+    def dead_target(self, tissue, share=1.0):
+        far = tissue.bounds.hi + 100.0 * (tissue.bounds.hi - tissue.bounds.lo)
+        return PrefetchTarget(
+            anchor=far,
+            direction=np.zeros(3),
+            share=share,
+            regions=(AABB(far, far + 1.0),),
+        )
+
+    def budget_for(self, engine, n_pages=10):
+        return n_pages * one_page_seconds(engine)
+
+    def test_live_target_inherits_dead_targets_share(
+        self, engine, tissue, tissue_flat, rng
+    ):
+        budget = self.budget_for(engine)
+
+        query, cache, disk = self.make_context(engine, tissue, tissue_flat, rng)
+        live = self.live_target(query, share=0.5)
+        dead = self.dead_target(tissue, share=0.5)
+        _, seconds_mixed = engine._execute_plan([live, dead], query, cache, disk, budget)
+
+        query, cache, disk = self.make_context(engine, tissue, tissue_flat, rng)
+        _, seconds_alone = engine._execute_plan(
+            [self.live_target(query)], query, cache, disk, budget
+        )
+
+        # The live target alone can consume (almost) the whole window...
+        assert seconds_alone > 0.8 * budget
+        # ...and pairing it with a dead equal-share target must not strand
+        # the dead target's half (the old code spent <= 0.5*budget + a batch).
+        assert seconds_mixed > 0.8 * budget
+        assert seconds_mixed == pytest.approx(seconds_alone, rel=0.05)
+
+    def test_spending_never_exceeds_budget_plus_one_page(
+        self, engine, tissue, tissue_flat, rng
+    ):
+        budget = self.budget_for(engine)
+        query, cache, disk = self.make_context(engine, tissue, tissue_flat, rng)
+        targets = [
+            self.live_target(query, share=0.7),
+            PrefetchTarget(anchor=query.center, direction=np.zeros(3), share=0.3),
+        ]
+        _, seconds = engine._execute_plan(targets, query, cache, disk, budget)
+        assert seconds <= budget + one_page_seconds(engine) + 1e-9
+
+    def test_all_dead_targets_spend_nothing(self, engine, tissue, tissue_flat, rng):
+        query, cache, disk = self.make_context(engine, tissue, tissue_flat, rng)
+        targets = [self.dead_target(tissue, share=0.5), self.dead_target(tissue, share=0.5)]
+        pages, seconds = engine._execute_plan(targets, query, cache, disk, self.budget_for(engine))
+        assert pages == 0 and seconds == 0.0
