@@ -1,9 +1,10 @@
-"""Command-line entry point: single experiment cells and parallel sweeps.
+"""Command-line entry point: experiment cells, parallel sweeps, benchmarks.
 
-Two forms::
+Three forms::
 
     scout-repro [run] --prefetcher scout --benchmark adhoc_stat
     scout-repro sweep --panels a,d --jobs 4 --out results/fig13.jsonl
+    scout-repro bench --quick --budget benchmarks/perf/budget.json
 
 ``run`` (the default when no subcommand is given, for backward
 compatibility) executes one experiment cell on synthetic neuron tissue
@@ -15,7 +16,13 @@ finished cell to a JSON-lines store keyed by the cell spec's content
 hash, and renders one table per panel from the stored results.  Re-runs
 against the same ``--out`` file resume: cells already in the store are
 skipped (disable with ``--no-resume``), and corrupt store lines are
-dropped and recomputed.
+dropped and recomputed.  ``--profile`` wraps every computed cell in
+cProfile and dumps per-cell ``.prof`` files next to the result store.
+
+``bench`` times the index/prediction hot paths against their scalar
+reference implementations and writes ``BENCH_<rev>.json`` (see
+ROADMAP.md, "Performance tracking"); with ``--budget`` it exits
+non-zero when throughput regresses past the checked-in floors.
 """
 
 from __future__ import annotations
@@ -115,6 +122,12 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the cell grid (spec key + axis point) and exit",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each computed cell under cProfile; dump per-cell .prof "
+        "files into <out>.profiles/ next to the result store",
+    )
     return parser
 
 
@@ -171,7 +184,8 @@ def _sweep_command(argv: list[str]) -> int:
     store = ResultStore(args.out)
     store.load()
     n_corrupt = store.n_corrupt
-    runner = ParallelRunner(jobs=args.jobs, store=store)
+    profile_dir = f"{args.out}.profiles" if args.profile else None
+    runner = ParallelRunner(jobs=args.jobs, store=store, profile_dir=profile_dir)
     report = runner.run(all_cells, resume=not args.no_resume)
 
     offset = 0
@@ -197,6 +211,62 @@ def _sweep_command(argv: list[str]) -> int:
         f"jobs {args.jobs}  elapsed {report.elapsed_seconds:.1f}s"
     )
     print(f"store: {store.path}")
+    if profile_dir is not None:
+        print(f"profiles: {profile_dir}")
+    return 0
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro bench",
+        description="Time the index & prediction hot paths vs their scalar "
+        "baselines and write BENCH_<rev>.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller dataset and fewer repeats (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="directory receiving BENCH_<rev>.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for the report (default: git rev-parse --short HEAD)",
+    )
+    parser.add_argument(
+        "--budget",
+        default=None,
+        help="budget JSON of throughput floors; exit 1 when a measurement "
+        "regresses more than the budget's tolerance below its floor",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the summary without writing BENCH_<rev>.json",
+    )
+    return parser
+
+
+def _bench_command(argv: list[str]) -> int:
+    from repro.perf.bench import check_budget, render_report, run_bench
+
+    args = _build_bench_parser().parse_args(argv)
+    report = run_bench(quick=args.quick, rev=args.rev)
+    print(render_report(report))
+    if not args.no_write:
+        path = report.write(args.out)
+        print(f"wrote {path}")
+    if args.budget is not None:
+        failures = check_budget(report, args.budget)
+        if failures:
+            for failure in failures:
+                print(f"BUDGET FAIL  {failure}")
+            return 1
+        print(f"budget ok ({args.budget})")
     return 0
 
 
@@ -204,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_command(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     return _run_command(argv)

@@ -21,7 +21,11 @@ from repro.core.exits import split_entries_exits
 from repro.datagen.dataset import Dataset
 from repro.geometry.aabb import AABB
 from repro.graph.spatial_graph import SpatialGraph
-from repro.graph.traversal import Crossing, refine_crossing_direction, region_crossings
+from repro.graph.traversal import (
+    Crossing,
+    refine_crossing_direction,
+    region_crossings_grouped,
+)
 
 __all__ = ["CandidateTrack", "CandidateTracker"]
 
@@ -113,11 +117,19 @@ class CandidateTracker:
         components = graph.connected_components()
         traversal_work = 0
 
+        # One vectorized clipping pass extracts every component's
+        # boundary crossings; the per-component loop below only does the
+        # (cheap) candidate bookkeeping.
+        component_ids = [
+            np.fromiter(component, dtype=np.int64) for component in components
+        ]
+        all_crossings = region_crossings_grouped(dataset, component_ids, region)
+
         new_tracks: list[CandidateTrack] = []
         unmatched: list[CandidateTrack] = []
-        for component in components:
-            object_ids = np.fromiter(component, dtype=np.int64)
-            crossings = region_crossings(dataset, object_ids, region)
+        for component, object_ids, crossings in zip(
+            components, component_ids, all_crossings
+        ):
             entries, exits = split_entries_exits(crossings, region.center, movement)
             # Smooth exit directions over the structure's trailing window
             # so the linear extrapolation follows the fiber's local

@@ -105,10 +105,13 @@ class ScoutOptPrefetcher(ScoutPrefetcher):
             return
         per_exit_budget = max(1, budget_pages // len(exits))
         share = 1.0 / len(exits)
-        for crossing in exits:
-            point, direction, pages = self._traverse_one_gap(
-                crossing.point, crossing.direction, gap, per_exit_budget
-            )
+        walks = self._traverse_gaps(
+            [crossing.point for crossing in exits],
+            [crossing.direction for crossing in exits],
+            gap,
+            per_exit_budget,
+        )
+        for point, direction, pages in walks:
             used_pages.extend(pages)
             targets.append(PrefetchTarget(anchor=point, direction=direction, share=share))
         self._pending_gap_pages = used_pages
@@ -124,39 +127,87 @@ class ScoutOptPrefetcher(ScoutPrefetcher):
     ) -> tuple[np.ndarray, np.ndarray, list[int]]:
         """Follow the structure through the gap, page probe by page probe.
 
-        Each step probes a small region ahead of the current point,
+        Single-exit convenience wrapper around :meth:`_traverse_gaps`.
+        """
+        return self._traverse_gaps([start], [direction], gap, page_budget)[0]
+
+    def _traverse_gaps(
+        self,
+        starts: list[np.ndarray],
+        directions: list[np.ndarray],
+        gap: float,
+        page_budget: int,
+    ) -> list[tuple[np.ndarray, np.ndarray, list[int]]]:
+        """Crawl every exit's gap in lockstep, batching the index probes.
+
+        Each walk probes a small region ahead of its current point,
         re-estimates the local structure direction from the objects
-        found there, and advances.  When the page budget runs out the
+        found there, and advances; when its page budget runs out the
         remaining distance falls back to linear extrapolation (§6.3's
-        backup mechanism).
+        backup mechanism).  Walks are independent, so the per-step
+        probes of all still-active walks are resolved through one
+        batched :meth:`~repro.index.base.SpatialIndex.query_many` call
+        -- results are identical to running each walk on its own.
         """
         probe_side = self._last_side * 0.4
-        point = np.asarray(start, dtype=np.float64).copy()
-        heading = np.asarray(direction, dtype=np.float64).copy()
-        norm = np.linalg.norm(heading)
-        if norm < _EPS:
-            return point, heading, []
-        heading /= norm
 
-        travelled = 0.0
-        pages_used: list[int] = []
-        while travelled < gap and len(pages_used) < page_budget:
-            probe_center = point + heading * (probe_side / 2.0)
-            probe = AABB.from_center_extent(probe_center, probe_side)
-            result = self.index.query(probe)
-            pages_used.extend(int(p) for p in result.page_ids)
-            if result.n_objects == 0:
-                break
-            new_heading = self._local_direction(result.object_ids, heading)
-            if new_heading is None:
-                break
-            advance = probe_side * 0.5
-            point = point + new_heading * advance
-            heading = new_heading
-            travelled += advance
+        walks = []
+        for start, direction in zip(starts, directions):
+            point = np.asarray(start, dtype=np.float64).copy()
+            heading = np.asarray(direction, dtype=np.float64).copy()
+            norm = np.linalg.norm(heading)
+            degenerate = bool(norm < _EPS)
+            walks.append(
+                {
+                    "point": point,
+                    "heading": heading if degenerate else heading / norm,
+                    "pages": [],
+                    "travelled": 0.0,
+                    "degenerate": degenerate,
+                    "active": not degenerate and 0.0 < gap and 0 < page_budget,
+                }
+            )
 
-        remaining = max(0.0, gap - travelled)
-        return point + heading * remaining, heading, pages_used
+        while True:
+            active = [walk for walk in walks if walk["active"]]
+            if not active:
+                break
+            probes = [
+                AABB.from_center_extent(
+                    walk["point"] + walk["heading"] * (probe_side / 2.0), probe_side
+                )
+                for walk in active
+            ]
+            for walk, result in zip(active, self.index.query_many(probes)):
+                walk["pages"].extend(int(p) for p in result.page_ids)
+                if result.n_objects == 0:
+                    walk["active"] = False
+                    continue
+                new_heading = self._local_direction(result.object_ids, walk["heading"])
+                if new_heading is None:
+                    walk["active"] = False
+                    continue
+                advance = probe_side * 0.5
+                walk["point"] = walk["point"] + new_heading * advance
+                walk["heading"] = new_heading
+                walk["travelled"] += advance
+                if not (walk["travelled"] < gap and len(walk["pages"]) < page_budget):
+                    walk["active"] = False
+
+        out = []
+        for walk in walks:
+            if walk["degenerate"]:
+                out.append((walk["point"], walk["heading"], walk["pages"]))
+                continue
+            remaining = max(0.0, gap - walk["travelled"])
+            out.append(
+                (
+                    walk["point"] + walk["heading"] * remaining,
+                    walk["heading"],
+                    walk["pages"],
+                )
+            )
+        return out
 
     def _local_direction(self, object_ids: np.ndarray, heading: np.ndarray) -> np.ndarray | None:
         """Average direction of nearby objects aligned with the heading."""

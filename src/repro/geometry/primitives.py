@@ -25,6 +25,7 @@ __all__ = [
     "segment_lengths",
     "segment_segment_distance",
     "segments_aabb_mask",
+    "segments_clip_intervals",
 ]
 
 _EPS = 1e-12
@@ -190,11 +191,17 @@ def clip_segment_to_aabb(a, b, box: AABB) -> tuple[np.ndarray, np.ndarray] | Non
     return a + t0 * delta, a + t1 * delta
 
 
-def segments_aabb_mask(a: np.ndarray, b: np.ndarray, box: AABB) -> np.ndarray:
-    """Vectorized exact segment-vs-box test for ``(n, 3)`` endpoint arrays.
+def segments_clip_intervals(
+    a: np.ndarray, b: np.ndarray, box: AABB
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized slab clip of ``n`` segments against one box.
 
-    Implements the slab test across all segments at once; used by indexes
-    to refine candidate sets returned from page-level lookups.
+    Returns ``(ok, t0, t1)``: whether each segment hits the box and the
+    clipped parametric interval within ``[0, 1]``.  This is the batched
+    counterpart of :func:`_slab_clip` -- same epsilon, same per-axis
+    max/min order -- so ``a + t0*delta`` / ``a + t1*delta`` reproduce
+    :func:`clip_segment_to_aabb`'s endpoints bit for bit.  ``t0``/``t1``
+    are meaningful only where ``ok`` is true.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -219,4 +226,14 @@ def segments_aabb_mask(a: np.ndarray, b: np.ndarray, box: AABB) -> np.ndarray:
         t0 = np.maximum(t0, ta2)
         t1 = np.minimum(t1, tb2)
     ok &= t0 <= t1
+    return ok, t0, t1
+
+
+def segments_aabb_mask(a: np.ndarray, b: np.ndarray, box: AABB) -> np.ndarray:
+    """Vectorized exact segment-vs-box test for ``(n, 3)`` endpoint arrays.
+
+    Implements the slab test across all segments at once; used by indexes
+    to refine candidate sets returned from page-level lookups.
+    """
+    ok, _, _ = segments_clip_intervals(a, b, box)
     return ok

@@ -5,11 +5,21 @@ objects in the paper's configuration) and answers axis-aligned range
 queries with both the matching object ids and the page ids that must be
 fetched to produce them.  The simulator charges I/O for the *pages*; the
 prefetchers reason about the *objects*.
+
+Alongside the single-region entry points, every index answers *batched*
+probes -- :meth:`SpatialIndex.pages_for_regions` and
+:meth:`SpatialIndex.query_many` -- so callers that fan one simulated
+query into dozens of small region probes (the incremental prefetch
+plan, FLAT adjacency preprocessing, gap traversal) can amortize the
+traversal over one vectorized pass.  The batched results are defined to
+be element-wise identical to the single-region calls; concrete indexes
+may override them with faster implementations but not different ones.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,14 +74,37 @@ class SpatialIndex(abc.ABC):
     def page_bounds(self, page_id: int) -> AABB:
         """The AABB of a page's contents."""
 
+    # -- batched probes ------------------------------------------------------
+
+    def pages_for_regions(self, regions: Sequence[AABB]) -> list[np.ndarray]:
+        """Per-region sorted page ids for a batch of probe boxes.
+
+        Element ``i`` equals ``pages_for_region(regions[i])``.  The base
+        implementation is the naive per-region loop; array-backed
+        indexes override it with a single vectorized pass.
+        """
+        return [self.pages_for_region(region) for region in regions]
+
+    def query_many(self, regions: Sequence[AABB]) -> list[QueryResult]:
+        """Batched exact range queries (element-wise equal to :meth:`query`)."""
+        regions = list(regions)  # tolerate one-shot iterators
+        page_lists = self.pages_for_regions(regions)
+        return [
+            self._result_for_pages(region, pages)
+            for region, pages in zip(regions, page_lists)
+        ]
+
     # -- shared query logic --------------------------------------------------
 
     def query(self, region: AABB) -> QueryResult:
         """Exact range query: pages touched plus objects intersecting."""
-        pages = self.pages_for_region(region)
+        return self._result_for_pages(region, self.pages_for_region(region))
+
+    def _result_for_pages(self, region: AABB, pages: np.ndarray) -> QueryResult:
+        """Refine a page-level probe into the exact object result."""
         if len(pages) == 0:
             return QueryResult(np.empty(0, dtype=np.int64), pages)
-        candidates = np.concatenate([self.page_table.objects_of_page(int(p)) for p in pages])
+        candidates = self.page_table.objects_of_pages(pages)
         lo = self.dataset.obj_lo[candidates]
         hi = self.dataset.obj_hi[candidates]
         mask = np.all((lo <= region.hi) & (hi >= region.lo), axis=1)

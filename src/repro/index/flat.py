@@ -17,7 +17,6 @@ its partitions.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 
 import numpy as np
@@ -27,6 +26,7 @@ from repro.geometry.aabb import AABB
 from repro.index.base import PAGE_FANOUT
 from repro.index.rtree import STRTree
 from repro.storage.page import PageTable
+from repro.util import row_norms
 
 __all__ = ["FlatIndex"]
 
@@ -58,9 +58,10 @@ class FlatIndex(STRTree):
     def _build_adjacency(self) -> None:
         """Link pages whose (slightly inflated) boxes touch.
 
-        One directory (R-tree) lookup per page finds its touching pages
-        in O(P log P) overall -- the preprocessing step FLAT performs to
-        record neighborhood information.
+        One batched directory (R-tree) probe resolves every page's
+        touching set in a single level-synchronous pass -- the
+        preprocessing step FLAT performs to record neighborhood
+        information, issued through the vectorized index API.
         """
         n_pages = self.page_table.n_pages
         self._neighbors: list[set[int]] = [set() for _ in range(n_pages)]
@@ -74,9 +75,9 @@ class FlatIndex(STRTree):
             self._adjacency_epsilon = float(np.median(hi - lo)) * 0.05 + 1e-9
         eps = self._adjacency_epsilon
 
-        for page in range(n_pages):
-            probe = AABB(lo[page] - eps, hi[page] + eps)
-            for other in self.pages_for_region(probe):
+        probes = [AABB(lo[page] - eps, hi[page] + eps) for page in range(n_pages)]
+        for page, touching in enumerate(self.pages_for_regions(probes)):
+            for other in touching:
                 other = int(other)
                 if other != page:
                     self._neighbors[page].add(other)
@@ -136,9 +137,14 @@ class FlatIndex(STRTree):
         if len(pages) == 0:
             return []
         start_points = np.atleast_2d(np.asarray(start_points, dtype=np.float64))
-        heap: list[tuple[float, int]] = []
-        for page in pages:
-            box = self.page_bounds(int(page))
-            distance = min(box.distance_to_point(p) for p in start_points)
-            heapq.heappush(heap, (distance, int(page)))
-        return [heapq.heappop(heap)[1] for _ in range(len(heap))]
+        # (pages, starts, 3) clamp of every start point into every page
+        # box; a page's key is its distance to the nearest start point.
+        # row_norms keeps the floats bit-identical to the per-point
+        # AABB.distance_to_point calls this replaced, so distance ties
+        # (broken by page id, as the old heap did) resolve identically.
+        lo = self._leaf_lo[pages][:, None, :]
+        hi = self._leaf_hi[pages][:, None, :]
+        clamped = np.clip(start_points[None, :, :], lo, hi)
+        distances = row_norms(clamped - start_points[None, :, :]).min(axis=1)
+        order = np.lexsort((pages, distances))
+        return [int(p) for p in pages[order]]

@@ -5,6 +5,10 @@ spatial data into a grid and prefetches all surrounding grid cells" --
 and by Hilbert-Prefetch [Park & Kim], which orders the same cells by
 Hilbert value.  Each non-empty grid cell maps to one or more pages
 (cells holding more than a page's worth of objects are split).
+
+Page bounds live in packed ``(n, 3)`` corner arrays, so both the single
+and the batched region probes are pure broadcast comparisons with no
+per-page Python work.
 """
 
 from __future__ import annotations
@@ -49,27 +53,41 @@ class GridIndex(SpatialIndex):
         cell_coords = grid.cells_of_points(dataset.centroids)
         flat = grid.flat_ids(cell_coords)
         order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+
+        # Runs of equal cell ids in the sorted order are the occupied
+        # cells; each run is cut into fanout-sized page chunks.
+        if len(sorted_flat):
+            run_starts = np.flatnonzero(
+                np.concatenate([[True], sorted_flat[1:] != sorted_flat[:-1]])
+            )
+        else:
+            run_starts = np.empty(0, dtype=np.int64)
+        run_ends = np.append(run_starts[1:], len(sorted_flat))
 
         pages: list[np.ndarray] = []
         self._pages_of_cell: dict[int, list[int]] = {}
-        self._cell_of_page: list[int] = []
-        start = 0
-        sorted_flat = flat[order]
-        while start < len(order):
-            end = start
+        cell_of_page: list[int] = []
+        for start, end in zip(run_starts, run_ends):
             cell_id = int(sorted_flat[start])
-            while end < len(order) and sorted_flat[end] == cell_id:
-                end += 1
             members = order[start:end]
             for chunk_start in range(0, len(members), self.fanout):
                 chunk = members[chunk_start : chunk_start + self.fanout]
                 self._pages_of_cell.setdefault(cell_id, []).append(len(pages))
-                self._cell_of_page.append(cell_id)
+                cell_of_page.append(cell_id)
                 pages.append(np.asarray(chunk, dtype=np.int64))
-            start = end
+        self._cell_of_page = cell_of_page
 
-        self._page_lo = np.array([dataset.obj_lo[p].min(axis=0) for p in pages])
-        self._page_hi = np.array([dataset.obj_hi[p].max(axis=0) for p in pages])
+        if pages:
+            concat = np.concatenate(pages)
+            offsets = np.concatenate(
+                [[0], np.cumsum([len(p) for p in pages])[:-1]]
+            ).astype(np.int64)
+            self._page_lo = np.minimum.reduceat(dataset.obj_lo[concat], offsets, axis=0)
+            self._page_hi = np.maximum.reduceat(dataset.obj_hi[concat], offsets, axis=0)
+        else:
+            self._page_lo = np.empty((0, 3))
+            self._page_hi = np.empty((0, 3))
         return PageTable(pages)
 
     # -- SpatialIndex API ------------------------------------------------------
@@ -77,6 +95,36 @@ class GridIndex(SpatialIndex):
     def pages_for_region(self, region: AABB) -> np.ndarray:
         hits = np.all((self._page_lo <= region.hi) & (self._page_hi >= region.lo), axis=1)
         return np.flatnonzero(hits).astype(np.int64)
+
+    def pages_for_regions(self, regions) -> list[np.ndarray]:
+        if not len(regions):
+            return []
+        qlo = np.array([r.lo for r in regions])
+        qhi = np.array([r.hi for r in regions])
+        return self._pages_for_boxes(qlo, qhi)
+
+    def _pages_for_boxes(self, qlo: np.ndarray, qhi: np.ndarray) -> list[np.ndarray]:
+        """All-pairs broadcast test, chunked to bound temporary memory."""
+        n_regions = len(qlo)
+        if n_regions == 0:
+            return []
+        if not len(self._page_lo):
+            return [np.empty(0, dtype=np.int64)] * n_regions
+        out: list[np.ndarray] = []
+        # ~32 MB of boolean temporaries per chunk at 3 bytes/page/region.
+        chunk = max(1, int(4_000_000 // max(1, len(self._page_lo))))
+        for start in range(0, n_regions, chunk):
+            lo = qlo[start : start + chunk]
+            hi = qhi[start : start + chunk]
+            hits = np.all(
+                (self._page_lo[None, :, :] <= hi[:, None, :])
+                & (self._page_hi[None, :, :] >= lo[:, None, :]),
+                axis=2,
+            )
+            rows, cols = np.nonzero(hits)
+            cuts = np.searchsorted(rows, np.arange(len(lo) + 1))
+            out.extend(cols[a:b].astype(np.int64) for a, b in zip(cuts[:-1], cuts[1:]))
+        return out
 
     def page_bounds(self, page_id: int) -> AABB:
         return AABB(self._page_lo[page_id], self._page_hi[page_id])

@@ -1,0 +1,9 @@
+"""Performance tracking: the ``scout-repro bench`` harness.
+
+See :mod:`repro.perf.bench` for the timed suites and the
+``BENCH_<rev>.json`` record format.
+"""
+
+from repro.perf.bench import BenchReport, check_budget, run_bench
+
+__all__ = ["BenchReport", "check_budget", "run_bench"]

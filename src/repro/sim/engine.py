@@ -19,7 +19,9 @@ substitution rationale.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 
 import numpy as np
 
@@ -67,6 +69,35 @@ class SimulationConfig:
         if self.cache_capacity_pages is not None:
             return self.cache_capacity_pages
         return max(256, int(0.12 * index.n_pages))
+
+
+class _BatchedProbes:
+    """Resolve a region iterator's page probes through the batched index API.
+
+    Plan execution consumes one incremental region at a time (budget
+    spending decides when to stop), but the regions themselves do not
+    depend on probe results -- so we can pull them from the iterator a
+    chunk ahead and answer all of the chunk's page lookups in one
+    vectorized :meth:`~repro.index.base.SpatialIndex.pages_for_regions`
+    pass.  Per-region results are identical to one-at-a-time calls; a
+    partially consumed chunk merely wasted some (cheap, vectorized)
+    lookahead.
+    """
+
+    def __init__(self, index, regions, chunk: int = 8) -> None:
+        self._index = index
+        self._regions = iter(regions)
+        self._chunk = max(1, int(chunk))
+        self._buffer: deque = deque()
+
+    def next(self):
+        """The next ``(region, page_ids)`` pair, or ``None`` when done."""
+        if not self._buffer:
+            batch = list(islice(self._regions, self._chunk))
+            if not batch:
+                return None
+            self._buffer.extend(zip(batch, self._index.pages_for_regions(batch)))
+        return self._buffer.popleft()
 
 
 class SimulationEngine:
@@ -211,12 +242,20 @@ class SimulationEngine:
         contiguous page runs earn the sequential discount, exactly like
         residual query I/O does; the batch that crosses the budget line
         is trimmed so the window is overshot by at most one page read.
+
+        Region page probes are resolved through the index's batched API
+        a chunk at a time (:class:`_BatchedProbes`); the spending loop
+        below is unchanged and sees identical per-region page sets.
         """
         if not targets:
             return 0, 0.0
         side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
         states = [
-            {"share": t.share, "regions": self._incremental_regions(t, side), "done": False}
+            {
+                "share": t.share,
+                "probes": _BatchedProbes(self.index, self._incremental_regions(t, side)),
+                "done": False,
+            }
             for t in targets
         ]
 
@@ -237,13 +276,14 @@ class SimulationEngine:
                 allotment = pass_budget * (state["share"] / total_share) + carry
                 spent = 0.0
                 while spent < allotment and remaining > 0:
-                    region = next(state["regions"], None)
-                    if region is None:
+                    probe = state["probes"].next()
+                    if probe is None:
                         state["done"] = True
                         break
                     advanced = True
+                    _, probe_pages = probe
                     batch = []
-                    for page in self.index.pages_for_region(region):
+                    for page in probe_pages:
                         page = int(page)
                         if page in cache:
                             continue

@@ -28,10 +28,12 @@ indistinguishable from a fresh one.
 
 from __future__ import annotations
 
+import cProfile
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.baselines import (
@@ -67,6 +69,7 @@ __all__ = [
     "PrefetcherSpec",
     "RunReport",
     "WorkloadSpec",
+    "profiled_run_cell",
     "run_cell",
     "warm_cell_resources",
 ]
@@ -366,9 +369,31 @@ def warm_cell_resources(cells: Iterable[CellSpec]) -> None:
         _memoized(_index_memo, index_key, lambda: spec.index.build(dataset))
 
 
-def _run_cell_record(spec_dict: dict) -> dict:
+def profiled_run_cell(spec: CellSpec, profile_dir: str | Path) -> CellResult:
+    """Run one cell under cProfile, dumping ``<cell key>.prof``.
+
+    The profile file lands in ``profile_dir`` (created on demand) named
+    by the first 16 hex digits of the cell's content hash, so profiles
+    line up with result-store records.
+    """
+    profile_dir = Path(profile_dir)
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = run_cell(spec)
+    finally:
+        profile.disable()
+    profile.dump_stats(str(profile_dir / f"{spec.key()[:16]}.prof"))
+    return result
+
+
+def _run_cell_record(spec_dict: dict, profile_dir: str | None = None) -> dict:
     """Worker entry point: plain dicts in, plain dicts out."""
-    return run_cell(CellSpec.from_dict(spec_dict)).to_record()
+    spec = CellSpec.from_dict(spec_dict)
+    if profile_dir is not None:
+        return profiled_run_cell(spec, profile_dir).to_record()
+    return run_cell(spec).to_record()
 
 
 # -- the runner ---------------------------------------------------------------------
@@ -403,11 +428,19 @@ class ParallelRunner:
     ``resume`` is on, cells whose key is already stored are skipped.
     """
 
-    def __init__(self, jobs: int = 1, store: ResultStore | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+        profile_dir: str | Path | None = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = int(jobs)
         self.store = store
+        #: When set, every computed cell runs under cProfile and dumps a
+        #: per-cell ``.prof`` file into this directory.
+        self.profile_dir = None if profile_dir is None else Path(profile_dir)
 
     def run(
         self,
@@ -459,11 +492,18 @@ class ParallelRunner:
         )
 
     def _compute(self, specs: list[CellSpec]) -> Iterator[CellResult]:
+        profile_dir = None if self.profile_dir is None else str(self.profile_dir)
         if self.jobs == 1 or len(specs) == 1:
             for spec in specs:
-                yield run_cell(spec)
+                if profile_dir is not None:
+                    yield profiled_run_cell(spec, profile_dir)
+                else:
+                    yield run_cell(spec)
             return
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
-            futures = [pool.submit(_run_cell_record, spec.to_dict()) for spec in specs]
+            futures = [
+                pool.submit(_run_cell_record, spec.to_dict(), profile_dir)
+                for spec in specs
+            ]
             for future in as_completed(futures):
                 yield CellResult.from_record(future.result())

@@ -5,6 +5,11 @@ which objects live on which 4 KB disk page; the :class:`PageTable`
 records that assignment and answers both directions of the lookup.  The
 simulator charges I/O at page granularity, so everything downstream --
 cache, disk model, hit-rate accounting -- speaks page ids.
+
+Pages are stored packed: one concatenated object-id array plus CSR
+offsets, so multi-page lookups (the query hot path gathers every result
+page's objects per query) are a single vectorized gather instead of a
+list of per-page concatenations.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 import numpy as np
+
+from repro.util import csr_expand
 
 __all__ = ["PageTable"]
 
@@ -24,47 +31,69 @@ class PageTable:
     """
 
     def __init__(self, pages: Sequence[np.ndarray]) -> None:
-        self._pages: list[np.ndarray] = []
-        n_objects = 0
+        arrays: list[np.ndarray] = []
         for objects in pages:
             arr = np.asarray(objects, dtype=np.int64)
             if arr.ndim != 1:
                 raise ValueError("each page must be a 1D array of object ids")
-            self._pages.append(arr)
-            n_objects += len(arr)
-        self._n_objects = n_objects
+            arrays.append(arr)
+        counts = np.array([len(arr) for arr in arrays], dtype=np.int64)
+        self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._objects = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        self._n_objects = int(self._offsets[-1])
 
-        self._page_of_object = np.full(self._max_object_id() + 1, -1, dtype=np.int64)
-        for page_id, objects in enumerate(self._pages):
-            if np.any(self._page_of_object[objects] != -1):
-                raise ValueError("an object was assigned to more than one page")
-            self._page_of_object[objects] = page_id
-
-    def _max_object_id(self) -> int:
-        best = -1
-        for objects in self._pages:
-            if len(objects):
-                best = max(best, int(objects.max()))
-        return best
+        max_id = int(self._objects.max()) if len(self._objects) else -1
+        self._page_of_object = np.full(max_id + 1, -1, dtype=np.int64)
+        owners = np.repeat(np.arange(len(arrays), dtype=np.int64), counts)
+        order = np.argsort(self._objects, kind="stable")
+        sorted_objects = self._objects[order]
+        sorted_owners = owners[order]
+        cross_page = (sorted_objects[1:] == sorted_objects[:-1]) & (
+            sorted_owners[1:] != sorted_owners[:-1]
+        )
+        if np.any(cross_page):
+            raise ValueError("an object was assigned to more than one page")
+        self._page_of_object[self._objects] = owners
 
     # -- sizes ------------------------------------------------------------
 
     @property
     def n_pages(self) -> int:
-        return len(self._pages)
+        return len(self._offsets) - 1
 
     @property
     def n_objects(self) -> int:
         return self._n_objects
 
     def page_size(self, page_id: int) -> int:
-        return len(self._pages[page_id])
+        return int(self._offsets[page_id + 1] - self._offsets[page_id])
 
     # -- lookups --------------------------------------------------------
 
     def objects_of_page(self, page_id: int) -> np.ndarray:
         """Object ids stored on a page (a read-only view)."""
-        return self._pages[page_id]
+        if not 0 <= page_id < self.n_pages:
+            raise IndexError(f"page {page_id} out of range")
+        return self._objects[self._offsets[page_id] : self._offsets[page_id + 1]]
+
+    def objects_of_pages(self, page_ids: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Concatenated object ids of several pages, in page order.
+
+        Vectorized equivalent of concatenating ``objects_of_page`` for
+        each page; this is the per-query candidate gather of
+        :meth:`repro.index.base.SpatialIndex.query`.
+        """
+        page_ids = np.asarray(
+            list(page_ids) if not isinstance(page_ids, np.ndarray) else page_ids,
+            dtype=np.int64,
+        )
+        if len(page_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._offsets[page_ids]
+        counts = self._offsets[page_ids + 1] - starts
+        return self._objects[csr_expand(starts, counts)]
 
     def page_of_object(self, object_id: int) -> int:
         page = int(self._page_of_object[object_id])

@@ -1,0 +1,51 @@
+"""Small shared array utilities.
+
+CSR (compressed sparse row) layouts -- a concatenated value array plus
+an offsets array -- are the packed structure-of-arrays representation
+used by the page table and the R-tree levels.  :func:`csr_expand` is
+the gather that turns per-row (start, count) pairs into flat indices
+into the value array, without a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["csr_expand", "row_norms"]
+
+
+def row_norms(vectors: np.ndarray) -> np.ndarray:
+    """Per-row Euclidean norms, bit-identical to ``np.linalg.norm(row)``.
+
+    The scalar 1-D ``np.linalg.norm`` computes ``sqrt(dot(x, x))``
+    through the BLAS dot kernel; a batched matmul routes through the
+    same kernel, while ``np.linalg.norm(..., axis=-1)`` (a square-sum
+    reduction) can differ in the last bit.  Vectorized rewrites of
+    scalar per-vector norms use this so their float results stay
+    bit-identical to the loops they replaced.
+
+    The matmul==ddot equality is a BLAS implementation detail, so the
+    equivalence tests (``tests/test_vectorized_equivalence.py``) pin it
+    per platform: on a BLAS where the kernels round differently they
+    fail loudly rather than letting the paths drift apart silently.
+    """
+    return np.sqrt(np.matmul(vectors[..., None, :], vectors[..., :, None])[..., 0, 0])
+
+
+def csr_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices for variable-length runs ``[starts, starts+counts)``.
+
+    Given ``n`` runs described by their start offsets and lengths,
+    returns the concatenation ``[s0, s0+1, ..., s0+c0-1, s1, ...]`` as
+    one int64 array.  Runs may overlap or be empty.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Offset of each output element within its run: a global ramp minus
+    # the (repeated) number of elements emitted before the run started.
+    before = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(before, counts)
+    return np.repeat(starts, counts) + within
