@@ -23,6 +23,7 @@ __all__ = ["ResultTable", "format_row", "paper_reference", "sweep_table"]
 #: *shapes*, not testbed-specific absolutes (see DESIGN.md §4).
 _PAPER_NOTES: dict[str, str] = {
     "fig3": "Best baseline (EWMA 0.3) <= 44%; accuracy drops as query volume grows.",
+    "fig10sweep": "SCOUT across the Fig-10 registry: visualization rows highest, ad-hoc lowest.",
     "fig11a": "SCOUT wins every no-gap microbenchmark, exceeding 90% on some; ad-hoc lowest.",
     "fig11b": "Speedups correlate with accuracy; SCOUT up to ~15x.",
     "fig12": "With gaps SCOUT only slightly beats trajectory methods; SCOUT-OPT is clearly best.",

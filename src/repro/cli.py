@@ -1,22 +1,32 @@
 """Command-line entry point: experiment cells, parallel sweeps, benchmarks.
 
-Three forms::
+Four forms::
 
     scout-repro [run] --prefetcher scout --benchmark adhoc_stat
-    scout-repro sweep --panels a,d --jobs 4 --out results/fig13.jsonl
+    scout-repro sweep --figure 11 --jobs 4 --out results/fig11.jsonl
+    scout-repro merge --out results/fig11.jsonl results/fig11.shard*.jsonl
     scout-repro bench --quick --budget benchmarks/perf/budget.json
 
 ``run`` (the default when no subcommand is given, for backward
 compatibility) executes one experiment cell on synthetic neuron tissue
 and prints its headline numbers.
 
-``sweep`` expands Fig-13 sensitivity panels into an experiment matrix,
-fans the cells out over ``--jobs`` worker processes, persists every
-finished cell to a JSON-lines store keyed by the cell spec's content
-hash, and renders one table per panel from the stored results.  Re-runs
-against the same ``--out`` file resume: cells already in the store are
-skipped (disable with ``--no-resume``), and corrupt store lines are
-dropped and recomputed.  ``--profile`` wraps every computed cell in
+``sweep`` expands an evaluation grid -- ``--figure 10|11|12`` for the
+microbenchmark grids, ``--figure 13`` (the default) with ``--panels``
+for the sensitivity panels -- into experiment cells, fans them out over
+``--jobs`` worker processes, persists every finished cell to a
+JSON-lines store keyed by the cell spec's content hash, and renders
+figure tables from the stored results.  Re-runs against the same
+``--out`` file resume: successful cells in the store are skipped
+(disable with ``--no-resume``); corrupt or stale store lines are
+dropped and recomputed.  Fault tolerance: ``--timeout`` bounds each
+cell attempt's wall-clock seconds and ``--retries`` grants extra
+attempts; a cell that still fails is recorded as a ``status:
+failed|timeout`` envelope and the sweep carries on.  ``--shard i/n``
+restricts the run to the slice of cells whose spec-hash lands in shard
+``i`` of ``n``, writing ``<out-stem>.shardIofN.jsonl`` so independent
+hosts or CI jobs can sweep disjoint slices; ``merge`` unions shard
+stores back into one file.  ``--profile`` wraps every computed cell in
 cProfile and dumps per-cell ``.prof`` files next to the result store.
 
 ``bench`` times the index/prediction hot paths against their scalar
@@ -82,21 +92,79 @@ def _run_command(argv: list[str]) -> int:
     return 0
 
 
+def _parse_shard(value: str) -> tuple[int, int]:
+    """Parse ``i/n`` into a validated (shard_index, n_shards) pair."""
+    try:
+        index_text, _, count_text = value.partition("/")
+        shard_index, n_shards = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like i/n (e.g. 0/2), got {value!r}"
+        ) from None
+    if n_shards < 1 or not 0 <= shard_index < n_shards:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, n_shards), got {value!r}"
+        )
+    return shard_index, n_shards
+
+
 def _build_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scout-repro sweep",
-        description="Run Fig-13 sensitivity panels as a parallel, resumable experiment sweep.",
+        description="Run a paper evaluation grid (Figs 10-13) as a parallel, "
+        "fault-tolerant, resumable experiment sweep.",
+    )
+    parser.add_argument(
+        "--figure",
+        type=int,
+        choices=[10, 11, 12, 13],
+        default=13,
+        help="which evaluation grid to sweep: the Fig-10 microbenchmark "
+        "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
+        "or the Fig-13 sensitivity panels (default)",
     )
     parser.add_argument(
         "--panels",
-        default="a,b,c,d,e,f",
-        help="comma-separated Fig-13 panel letters (default: all six)",
+        default=None,
+        help="comma-separated Fig-13 panel letters (default: all six; "
+        "--figure 13 only)",
+    )
+    parser.add_argument(
+        "--benches",
+        default=None,
+        help="comma-separated microbenchmark names restricting a Fig-10/11/12 "
+        "grid (default: every row of the figure)",
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument(
         "--out",
-        default="results/fig13_sweep.jsonl",
-        help="JSON-lines result store (appended; enables resume)",
+        default=None,
+        help="JSON-lines result store (appended; enables resume; default "
+        "results/fig<figure>_sweep.jsonl)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="run only the cells whose spec-hash lands in shard I of N, "
+        "writing <out-stem>.shardIofN.jsonl (merge slices with "
+        "'scout-repro merge')",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt; an exceeded cell is "
+        "retried, then recorded as status=timeout",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts granted to a crashing or timed-out cell "
+        "before recording a failure envelope (default: 1)",
     )
     parser.add_argument(
         "--no-resume",
@@ -110,7 +178,13 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         help="tissue size in neurons (panel b rescales its density axis around this)",
     )
     parser.add_argument("--sequences", type=int, default=None, help="sequences per cell")
-    parser.add_argument("--seed", type=int, default=13, help="workload seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (default: 13 for Fig 13, the figure's paper "
+        "seed for Figs 10-12)",
+    )
     parser.add_argument(
         "--points",
         type=int,
@@ -131,22 +205,26 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _sweep_command(argv: list[str]) -> int:
-    from repro.analysis import sweep_table
-    from repro.sim import ParallelRunner, ResultStore
-    from repro.workload.sweeps import FIG13_PANELS, fig13_axes, fig13_axis_value, fig13_matrix
+def _prefetcher_label(result) -> str:
+    """Table row label for a cell: kind, plus lambda for EWMA variants."""
+    prefetcher = result.spec["prefetcher"]
+    lam = prefetcher["params"].get("lam")
+    if prefetcher["kind"] == "ewma" and lam is not None:
+        return f"ewma-{lam:g}"
+    return prefetcher["kind"]
 
-    parser = _build_sweep_parser()
-    args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    panels = [p.strip() for p in args.panels.split(",") if p.strip()]
+
+def _fig13_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import FIG13_PANELS, fig13_axes, fig13_matrix
+
+    panel_arg = "a,b,c,d,e,f" if args.panels is None else args.panels
+    panels = [p.strip() for p in panel_arg.split(",") if p.strip()]
     if not panels:
         parser.error("--panels must name at least one Fig-13 panel")
     unknown = [p for p in panels if p not in FIG13_PANELS]
     if unknown:
         print(f"unknown panel(s): {', '.join(unknown)} (expected {', '.join(FIG13_PANELS)})")
-        return 2
+        return None
 
     axes = fig13_axes()
     grids = []  # (panel, cells) in panel order
@@ -167,30 +245,41 @@ def _sweep_command(argv: list[str]) -> int:
             panel,
             n_neurons=args.neurons,
             n_sequences=args.sequences,
-            workload_seed=args.seed,
+            workload_seed=13 if args.seed is None else args.seed,
             axis=axis,
         )
         grids.append((panel, matrix.cells()))
+    return grids
 
-    all_cells = [cell for _, cells in grids for cell in cells]
-    if args.list_cells:
-        for panel, cells in grids:
-            for cell in cells:
-                axis_value = fig13_axis_value(panel, cell.to_dict())
-                print(f"{panel}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} axis={axis_value:g}")
-        print(f"{len(all_cells)} cells")
-        return 0
 
-    store = ResultStore(args.out)
-    store.load()
-    n_corrupt = store.n_corrupt
-    profile_dir = f"{args.out}.profiles" if args.profile else None
-    runner = ParallelRunner(jobs=args.jobs, store=store, profile_dir=profile_dir)
-    report = runner.run(all_cells, resume=not args.no_resume)
+def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import FIGURE_MATRICES
+
+    builder = FIGURE_MATRICES[args.figure]
+    benches = None
+    if args.benches is not None:
+        benches = [b.strip() for b in args.benches.split(",") if b.strip()]
+    kwargs = {} if args.seed is None else {"workload_seed": args.seed}
+    try:
+        matrix = builder(
+            benches=benches,
+            n_neurons=args.neurons,
+            n_sequences=args.sequences,
+            **kwargs,
+        )
+    except ValueError as error:
+        print(error)
+        return None
+    return [(f"fig{args.figure}", matrix.cells())]
+
+
+def _render_fig13_tables(grids, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import FIG13_PANELS, fig13_axis_value
 
     offset = 0
     for panel, cells in grids:
-        panel_results = report.results[offset : offset + len(cells)]
+        panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
         offset += len(cells)
         _, title = FIG13_PANELS[panel]
         table = sweep_table(
@@ -204,15 +293,160 @@ def _sweep_command(argv: list[str]) -> int:
         print()
         print(table.render())
 
+
+#: ``--figure`` -> figure ids of the (hit-rate, speedup) tables, keying
+#: the paper-shape notes printed above each table.
+_FIGURE_TABLE_IDS = {10: ("fig10sweep", ""), 11: ("fig11a", "fig11b"), 12: ("fig12", "")}
+
+
+def _render_microbenchmark_tables(figure: int, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import microbenchmark_of
+
+    ok_results = [r for r in results if r.ok]
+    hit_id, speed_id = _FIGURE_TABLE_IDS[figure]
+    hit = sweep_table(
+        f"Fig {figure} sweep -- cache hit rate [%]",
+        ok_results,
+        column_of=lambda r: microbenchmark_of(r.spec) or "?",
+        row_of=_prefetcher_label,
+        value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+        figure_id=hit_id,
+    )
+    speed = sweep_table(
+        f"Fig {figure} sweep -- speedup vs no prefetching",
+        ok_results,
+        column_of=lambda r: microbenchmark_of(r.spec) or "?",
+        row_of=_prefetcher_label,
+        value_of=lambda r: r.metrics.speedup,
+        figure_id=speed_id,
+        precision=2,
+    )
+    print()
+    print(hit.render())
+    print()
+    print(speed.render())
+
+
+def _sweep_command(argv: list[str]) -> int:
+    from repro.sim import ParallelRunner, ResultStore, ShardedResultStore, shard_of
+
+    parser = _build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
+    # Refuse mixed-figure flags loudly: running the wrong (possibly
+    # much larger) grid is worse than an argparse error.
+    if args.figure == 13 and args.benches is not None:
+        parser.error("--benches applies to --figure 10|11|12; use --panels for Fig 13")
+    if args.figure != 13 and args.panels is not None:
+        parser.error(f"--panels applies to --figure 13, not --figure {args.figure}")
+    if args.figure != 13 and args.points is not None:
+        parser.error(f"--points applies to --figure 13, not --figure {args.figure}")
+    out = args.out if args.out is not None else f"results/fig{args.figure}_sweep.jsonl"
+
+    grids = _fig13_grids(args, parser) if args.figure == 13 else _microbenchmark_grids(args)
+    if grids is None:
+        return 2
+
+    if args.shard is not None:
+        shard_index, n_shards = args.shard
+        grids = [
+            (label, [c for c in cells if shard_of(c.key(), n_shards) == shard_index])
+            for label, cells in grids
+        ]
+
+    all_cells = [cell for _, cells in grids for cell in cells]
+    if args.list_cells:
+        from repro.workload.sweeps import fig13_axis_value, microbenchmark_of
+
+        for label, cells in grids:
+            for cell in cells:
+                if args.figure == 13:
+                    axis = f"axis={fig13_axis_value(label, cell.to_dict()):g}"
+                else:
+                    axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
+                print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
+        suffix = "" if args.shard is None else f" (shard {args.shard[0]}/{args.shard[1]})"
+        print(f"{len(all_cells)} cells{suffix}")
+        return 0
+
+    if args.shard is not None:
+        store = ShardedResultStore(out, *args.shard, async_writes=True)
+    else:
+        store = ResultStore(out, async_writes=True)
+    try:
+        store.load()
+        n_corrupt, n_stale = store.n_corrupt, store.n_stale
+        profile_dir = f"{out}.profiles" if args.profile else None
+        runner = ParallelRunner(
+            jobs=args.jobs,
+            store=store,
+            profile_dir=profile_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+        report = runner.run(all_cells, resume=not args.no_resume)
+    finally:
+        store.close()
+
+    if args.figure == 13:
+        _render_fig13_tables(grids, report.results)
+    else:
+        _render_microbenchmark_tables(args.figure, report.results)
+
+    shard_note = "" if args.shard is None else f"  shard {args.shard[0]}/{args.shard[1]}"
     print()
     print(
         f"cells {len(all_cells)}  computed {report.n_computed}  "
-        f"resumed {report.n_skipped}  corrupt-dropped {n_corrupt}  "
-        f"jobs {args.jobs}  elapsed {report.elapsed_seconds:.1f}s"
+        f"failed {report.n_failed}  resumed {report.n_skipped}  "
+        f"corrupt-dropped {n_corrupt}  stale-dropped {n_stale}  "
+        f"jobs {args.jobs}{shard_note}  elapsed {report.elapsed_seconds:.1f}s"
     )
+    for result in report.results:
+        if not result.ok:
+            print(f"  {result.status:7s} {result.key[:12]}  attempts={result.attempts}  {result.error}")
     print(f"store: {store.path}")
     if profile_dir is not None:
         print(f"profiles: {profile_dir}")
+    return 0
+
+
+def _build_merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro merge",
+        description="Union sharded (or partial) sweep stores into one store.",
+    )
+    parser.add_argument("inputs", nargs="+", help="shard store files to union")
+    parser.add_argument(
+        "--out",
+        required=True,
+        help="merged JSON-lines store (atomically replaced; may be one of "
+        "the inputs)",
+    )
+    return parser
+
+
+def _merge_command(argv: list[str]) -> int:
+    from repro.sim import merge_stores
+
+    args = _build_merge_parser().parse_args(argv)
+    try:
+        report = merge_stores(args.inputs, args.out)
+    except ValueError as error:
+        print(f"merge failed: {error}")
+        return 2
+    for path in report.missing_inputs:
+        print(f"warning: input store {path} does not exist (empty shard, or a typo?)")
+    print(
+        f"merged {report.n_cells} cells from {report.n_inputs} stores -> {report.out_path}  "
+        f"(corrupt-dropped {report.n_corrupt}  stale-dropped {report.n_stale}  "
+        f"conflicts {len(report.conflict_keys)}  missing-inputs {len(report.missing_inputs)})"
+    )
     return 0
 
 
@@ -274,6 +508,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_command(argv[1:])
+    if argv and argv[0] == "merge":
+        return _merge_command(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_command(argv[1:])
     if argv and argv[0] == "run":

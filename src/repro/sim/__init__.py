@@ -10,9 +10,19 @@ prefetched incrementally until the window closes.
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.metrics import QueryRecord, SequenceMetrics, AggregateMetrics, aggregate
 from repro.sim.experiment import ExperimentResult, run_experiment
-from repro.sim.results import CellResult, ResultStore, cell_key
+from repro.sim.results import (
+    CellResult,
+    MergeReport,
+    ResultStore,
+    ShardedResultStore,
+    cell_key,
+    merge_stores,
+    shard_of,
+    shard_store_path,
+)
 from repro.sim.runner import (
     CellSpec,
+    CellTimeoutError,
     DatasetSpec,
     ExperimentMatrix,
     IndexSpec,
@@ -28,22 +38,28 @@ __all__ = [
     "AggregateMetrics",
     "CellResult",
     "CellSpec",
+    "CellTimeoutError",
     "DatasetSpec",
     "ExperimentMatrix",
     "ExperimentResult",
     "IndexSpec",
+    "MergeReport",
     "ParallelRunner",
     "PrefetcherSpec",
     "QueryRecord",
     "ResultStore",
     "RunReport",
     "SequenceMetrics",
+    "ShardedResultStore",
     "SimulationConfig",
     "SimulationEngine",
     "WorkloadSpec",
     "aggregate",
     "cell_key",
+    "merge_stores",
     "run_cell",
     "run_experiment",
+    "shard_of",
+    "shard_store_path",
     "warm_cell_resources",
 ]

@@ -1,4 +1,4 @@
-"""Persisted experiment results: content-addressed JSON-lines store.
+"""Persisted experiment results: content-addressed JSON-lines stores.
 
 Every experiment cell is identified by the **content hash** of its
 declarative spec (see :mod:`repro.sim.runner`): the spec is serialized
@@ -14,14 +14,32 @@ over a database for three properties the orchestrator needs:
 
 * **append-only writes** -- the parent process appends each finished
   cell as soon as its worker returns, so an interrupted sweep keeps
-  everything computed so far;
+  everything computed so far.  With ``async_writes=True`` the appends
+  are drained by a background writer thread, so the scheduling loop
+  never blocks on file I/O (``flush()`` waits for the queue, ``close()``
+  stops the thread);
 * **corruption locality** -- a truncated or garbled line (e.g. from a
   crash mid-write) invalidates only that record.  :meth:`ResultStore.load`
-  verifies each line (JSON validity, schema version, spec-hash/key
-  agreement, metric fields) and silently drops bad records, counting
-  them in :attr:`ResultStore.n_corrupt`; the runner then recomputes just
-  those cells;
+  verifies each line and drops bad records, distinguishing *corrupt*
+  lines (broken JSON, spec/key hash mismatch -- :attr:`ResultStore.n_corrupt`)
+  from *stale* ones (valid JSON written by an older/newer code revision:
+  unknown schema version, missing envelope or metric fields --
+  :attr:`ResultStore.n_stale`).  Both are recomputed on resume; neither
+  is ever handed to table rendering;
 * **greppability** -- results are plain text, one cell per line.
+
+Records are wrapped in a **status envelope** (``STORE_SCHEMA = 2``):
+``{status: ok|failed|timeout, attempts, error, metrics, ...}``.  A cell
+that crashed or exceeded its wall-clock budget is persisted as a
+failure record (``metrics: null``) instead of aborting the sweep, and
+is retried on the next resume.  Legacy schema-1 records (no envelope)
+still load as ``status="ok"``.
+
+For multi-host sweeps, :class:`ShardedResultStore` deterministically
+splits the key space into ``n_shards`` slices by spec-hash; independent
+hosts or CI jobs each sweep one ``--shard i/n`` slice into their own
+file, and :func:`merge_stores` unions the shard files back into one
+store.
 
 Duplicate keys are legal (re-runs append); the last record wins, so a
 recomputed cell supersedes a corrupt or stale one on the next load.
@@ -32,24 +50,41 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import dataclass
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.sim.metrics import AggregateMetrics
 
 __all__ = [
     "CellResult",
+    "MergeReport",
     "ResultStore",
+    "ShardedResultStore",
     "canonical_json",
     "cell_key",
+    "merge_stores",
     "metrics_from_dict",
     "metrics_to_dict",
+    "shard_of",
+    "shard_store_path",
 ]
 
-#: Store schema version; bump when the record layout changes so old
-#: stores are recomputed rather than misread.
-STORE_SCHEMA = 1
+#: Store schema version; bump when the record layout changes.  Older
+#: *loadable* layouts are upgraded on read (schema 1 had no status
+#: envelope); anything else is classified stale and recomputed.
+STORE_SCHEMA = 2
+
+#: Schema versions :meth:`ResultStore.load` still understands.
+_LOADABLE_SCHEMAS = (1, STORE_SCHEMA)
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
 
 #: Fields every persisted metrics dict must carry (mirrors
 #: :class:`~repro.sim.metrics.AggregateMetrics`).
@@ -114,12 +149,32 @@ def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
 
 @dataclass(frozen=True)
 class CellResult:
-    """One experiment cell's persisted outcome."""
+    """One experiment cell's persisted outcome.
+
+    ``status`` is the failure envelope: ``"ok"`` results carry metrics,
+    ``"failed"`` / ``"timeout"`` results carry ``metrics=None`` plus the
+    stringified ``error`` and the number of ``attempts`` spent before
+    giving up.  Failure records keep a sweep's bookkeeping (what ran,
+    what died, how often) in the same store as its data.
+    """
 
     key: str
     spec: dict
-    metrics: AggregateMetrics
+    metrics: AggregateMetrics | None
     elapsed_seconds: float = 0.0
+    status: str = STATUS_OK
+    attempts: int = 1
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(f"unknown status {self.status!r}; known: {', '.join(_STATUSES)}")
+        if (self.metrics is None) == (self.status == STATUS_OK):
+            raise ValueError(f"status {self.status!r} inconsistent with metrics presence")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
     @property
     def prefetcher_kind(self) -> str:
@@ -130,58 +185,205 @@ class CellResult:
             "schema": STORE_SCHEMA,
             "key": self.key,
             "spec": self.spec,
-            "metrics": metrics_to_dict(self.metrics),
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "metrics": None if self.metrics is None else metrics_to_dict(self.metrics),
             "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
     def from_record(cls, record: Mapping[str, Any]) -> "CellResult":
+        metrics = record.get("metrics")
         return cls(
             key=record["key"],
             spec=dict(record["spec"]),
-            metrics=metrics_from_dict(record["metrics"]),
+            metrics=None if metrics is None else metrics_from_dict(metrics),
             elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            # Schema-1 records predate the envelope: they are ok results.
+            status=record.get("status", STATUS_OK),
+            attempts=int(record.get("attempts", 1)),
+            error=record.get("error"),
         )
 
 
-def _validate_record(record: Any) -> bool:
-    """True when a parsed store line is a usable result record."""
+_VALID, _STALE, _CORRUPT = "valid", "stale", "corrupt"
+
+
+def _classify_record(record: Any) -> str:
+    """Sort a parsed store line into valid / stale / corrupt.
+
+    *Corrupt* means the line cannot be trusted at all: not a record
+    dict, or the spec no longer matches its content hash.  *Stale*
+    means the line is intact but was written by a different code
+    revision -- unknown schema version, or an envelope/metrics layout
+    missing fields the current reader requires.  Both are dropped and
+    recomputed; the distinction keeps "this store is damaged" separate
+    from "this store predates the current schema" in sweep reporting.
+    """
     if not isinstance(record, dict):
-        return False
-    if record.get("schema") != STORE_SCHEMA:
-        return False
+        return _CORRUPT
     spec = record.get("spec")
     key = record.get("key")
     if not isinstance(spec, dict) or not isinstance(key, str):
-        return False
+        return _CORRUPT
     if cell_key(spec) != key:
         # Tampered or bit-rotted: the spec no longer matches its hash.
-        return False
-    metrics = record.get("metrics")
-    if not isinstance(metrics, dict):
-        return False
-    return all(field in metrics for field in _METRIC_FIELDS)
+        return _CORRUPT
+    if record.get("schema") not in _LOADABLE_SCHEMAS:
+        return _STALE
+    status = record.get("status", STATUS_OK)
+    if status not in _STATUSES:
+        return _STALE
+    if record.get("schema") == STORE_SCHEMA and not isinstance(record.get("attempts", 0), int):
+        return _STALE
+    if status == STATUS_OK:
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            return _STALE
+        if not all(field_name in metrics for field_name in _METRIC_FIELDS):
+            # Valid JSON from an older revision that tracked fewer
+            # metrics: explicitly stale, never silently rendered.
+            return _STALE
+    return _VALID
+
+
+def _append_line(path: Path, line: str) -> None:
+    """Append one record line, guarding against a partial final line."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a+b") as fh:
+        # A crash mid-write can leave the file without a trailing
+        # newline; writing straight on would glue this record onto
+        # the partial line and corrupt both.
+        fh.seek(0, 2)
+        if fh.tell() > 0:
+            fh.seek(-1, 2)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+        fh.write((line + "\n").encode("utf-8"))
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+class _AsyncWriter:
+    """Background thread draining record lines to a store file.
+
+    Workers (and the scheduling loop collecting their results) hand
+    lines to :meth:`submit` and move on; the thread does the
+    open/guard/write/fsync cycle.  Write errors are captured and
+    re-raised from the next :meth:`flush` / :meth:`close` so they
+    surface on the caller's thread instead of dying silently.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._queue: queue.Queue = queue.Queue()
+        self._error: BaseException | None = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name=f"result-store-writer:{path.name}", daemon=True
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is self._CLOSE:
+                    return
+                if self._error is None:
+                    _append_line(self._path, item)
+            except BaseException as exc:  # noqa: BLE001 - reported via flush()
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError(f"async store write to {self._path} failed") from error
+
+    def submit(self, line: str) -> None:
+        if self._closed:
+            raise RuntimeError("async writer is closed")
+        # Surface a failed write on the *next* append rather than
+        # queueing hours of results into a store that stopped taking
+        # them -- mirrors the sync path aborting at the first bad write.
+        self._raise_pending()
+        self._queue.put(line)
+
+    def flush(self) -> None:
+        self._queue.join()
+        self._raise_pending()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put(self._CLOSE)
+            self._thread.join()
+        self._raise_pending()
 
 
 class ResultStore:
-    """JSON-lines store of :class:`CellResult` records, keyed by spec hash."""
+    """JSON-lines store of :class:`CellResult` records, keyed by spec hash.
 
-    def __init__(self, path: str | Path) -> None:
+    With ``async_writes=True`` appends are queued to a writer thread;
+    call :meth:`flush` to wait for them to hit disk (done automatically
+    before reloads and compaction) and :meth:`close` when finished.  The
+    store is also a context manager: ``with ResultStore(p, async_writes=True)
+    as store: ...`` closes the writer on exit.
+    """
+
+    def __init__(self, path: str | Path, async_writes: bool = False) -> None:
         self.path = Path(path)
         self._results: dict[str, CellResult] = {}
         self._loaded = False
-        #: Lines dropped by the last :meth:`load` (corrupt JSON, schema
-        #: mismatch, key/spec disagreement, missing metric fields).
+        #: Lines dropped by the last :meth:`load` as damaged beyond
+        #: trust (broken JSON, non-record lines, spec/key hash mismatch).
         self.n_corrupt = 0
+        #: Lines dropped by the last :meth:`load` as schema-envelope
+        #: mismatches: intact JSON written by an older or newer code
+        #: revision (unknown schema version, missing envelope or metric
+        #: fields).  Stale cells are recomputed, never rendered.
+        self.n_stale = 0
+        self._async = bool(async_writes)
+        self._writer_closed = False
+        # Started lazily on the first append: by then a pooled runner
+        # has already forked its workers, so the fork never happens in
+        # a multi-threaded parent (a documented deadlock risk).
+        self._writer: _AsyncWriter | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Wait until every queued append is on disk (async mode)."""
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        """Stop the async writer after draining its queue."""
+        self._writer_closed = True
+        if self._writer is not None:
+            self._writer.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- reading ------------------------------------------------------------
 
     def load(self, reload: bool = False) -> dict[str, CellResult]:
-        """Parse the store file, dropping (and counting) corrupt lines."""
+        """Parse the store file, dropping (and counting) bad lines."""
         if self._loaded and not reload:
             return self._results
+        self.flush()
         self._results = {}
         self.n_corrupt = 0
+        self.n_stale = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as fh:
                 for line in fh:
@@ -193,8 +395,12 @@ class ResultStore:
                     except json.JSONDecodeError:
                         self.n_corrupt += 1
                         continue
-                    if not _validate_record(record):
-                        self.n_corrupt += 1
+                    verdict = _classify_record(record)
+                    if verdict is not _VALID:
+                        if verdict is _STALE:
+                            self.n_stale += 1
+                        else:
+                            self.n_corrupt += 1
                         continue
                     try:
                         result = CellResult.from_record(record)
@@ -204,6 +410,11 @@ class ResultStore:
                     self._results[result.key] = result
         self._loaded = True
         return self._results
+
+    @property
+    def n_dropped(self) -> int:
+        """Total lines the last :meth:`load` refused (corrupt + stale)."""
+        return self.n_corrupt + self.n_stale
 
     def __contains__(self, key: str) -> bool:
         return key in self.load()
@@ -220,26 +431,33 @@ class ResultStore:
     def results(self) -> list[CellResult]:
         return list(self.load().values())
 
+    def ok_results(self) -> list[CellResult]:
+        """Only the successful cells -- what table rendering consumes."""
+        return [result for result in self.load().values() if result.ok]
+
     # -- writing ------------------------------------------------------------
 
     def append(self, result: CellResult) -> None:
-        """Append one record and update the in-memory view."""
+        """Append one record and update the in-memory view.
+
+        In async mode the disk write is queued; the in-memory view is
+        updated immediately, so readers of *this* store object see the
+        result regardless of writer progress.
+        """
         self.load()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a+b") as fh:
-            # A crash mid-write can leave the file without a trailing
-            # newline; writing straight on would glue this record onto
-            # the partial line and corrupt both.
-            fh.seek(0, 2)
-            if fh.tell() > 0:
-                fh.seek(-1, 2)
-                if fh.read(1) != b"\n":
-                    fh.write(b"\n")
-            fh.write((json.dumps(result.to_record()) + "\n").encode("utf-8"))
+        line = json.dumps(result.to_record())
+        if self._async:
+            if self._writer is None:
+                if self._writer_closed:
+                    raise RuntimeError("async writer is closed")
+                self._writer = _AsyncWriter(self.path)
+            self._writer.submit(line)
+        else:
+            _append_line(self.path, line)
         self._results[result.key] = result
 
     def compact(self) -> int:
-        """Rewrite the file without corrupt or superseded lines.
+        """Rewrite the file without corrupt, stale or superseded lines.
 
         Returns the number of records kept.  Useful after long resumed
         sweeps have accumulated duplicate or damaged lines.
@@ -251,4 +469,153 @@ class ResultStore:
                 fh.write(json.dumps(result.to_record()) + "\n")
         tmp.replace(self.path)
         self.n_corrupt = 0
+        self.n_stale = 0
         return len(results)
+
+
+# -- sharding -----------------------------------------------------------------------
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Deterministic shard index of a cell key (hex SHA-256 spec hash).
+
+    Uses the key's leading 64 bits so any process, on any host, at any
+    time assigns a cell to the same slice -- the property that lets
+    independent CI jobs sweep ``--shard 0/2`` and ``--shard 1/2``
+    without coordination and still partition the grid exactly.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return int(key[:16], 16) % n_shards
+
+
+def shard_store_path(path: str | Path, shard_index: int, n_shards: int) -> Path:
+    """Per-shard store file derived from the merged-store path.
+
+    ``results/fig10.jsonl`` with shard 0/2 becomes
+    ``results/fig10.shard0of2.jsonl``; the undecorated path is reserved
+    for the :func:`merge_stores` output.
+    """
+    path = Path(path)
+    suffix = path.suffix or ".jsonl"
+    return path.with_name(f"{path.stem}.shard{shard_index}of{n_shards}{suffix}")
+
+
+class ShardedResultStore(ResultStore):
+    """One ``--shard i/n`` slice of a sweep's key space.
+
+    The store file lives at :func:`shard_store_path`; :meth:`owns`
+    says whether a key hashes into this slice, :meth:`owned_cells`
+    filters a cell list down to it, and :meth:`append` refuses results
+    from other slices so a mis-wired runner cannot silently produce
+    overlapping shard files (which would make merges ambiguous).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        shard_index: int,
+        n_shards: int,
+        async_writes: bool = False,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0 <= shard_index < n_shards:
+            raise ValueError(f"shard index must be in [0, {n_shards}), got {shard_index}")
+        self.base_path = Path(path)
+        self.shard_index = int(shard_index)
+        self.n_shards = int(n_shards)
+        super().__init__(shard_store_path(path, shard_index, n_shards), async_writes)
+
+    def owns(self, key: str) -> bool:
+        return shard_of(key, self.n_shards) == self.shard_index
+
+    def owned_cells(self, cells: Iterable[Any]) -> list[Any]:
+        """The subset of cell specs whose keys hash into this shard."""
+        return [cell for cell in cells if self.owns(cell.key())]
+
+    def append(self, result: CellResult) -> None:
+        if not self.owns(result.key):
+            raise ValueError(
+                f"cell {result.key[:12]} belongs to shard "
+                f"{shard_of(result.key, self.n_shards)}/{self.n_shards}, "
+                f"not {self.shard_index}/{self.n_shards}"
+            )
+        super().append(result)
+
+
+# -- merging ------------------------------------------------------------------------
+
+
+@dataclass
+class MergeReport:
+    """What :func:`merge_stores` combined and what it refused."""
+
+    out_path: Path
+    n_cells: int
+    n_inputs: int
+    n_corrupt: int = 0
+    n_stale: int = 0
+    #: Keys whose duplicate records disagreed across inputs (the later
+    #: input won, ok records always beating failure records).
+    conflict_keys: list[str] = field(default_factory=list)
+    #: Input paths that did not exist.  Legal -- a shard that owned no
+    #: cells never creates its file -- but surfaced so a typo'd shard
+    #: path cannot silently produce a partial merge.
+    missing_inputs: list[Path] = field(default_factory=list)
+
+
+def merge_stores(input_paths: Sequence[str | Path], out_path: str | Path) -> MergeReport:
+    """Union shard (or partial-sweep) stores into one compacted store.
+
+    Inputs are loaded with full validation (corrupt and stale lines
+    dropped and counted).  Duplicate keys resolve in favour of ``ok``
+    records over failure records; among records of equal status the
+    later input wins.  The output is written atomically (tmp + rename),
+    so merging is idempotent and re-merging after a retry run simply
+    upgrades failure records in place.  ``out_path`` may itself be one
+    of the inputs.
+    """
+    paths = [Path(p) for p in input_paths]
+    if not paths:
+        raise ValueError("merge needs at least one input store")
+    merged: dict[str, CellResult] = {}
+    n_corrupt = 0
+    n_stale = 0
+    conflicts: list[str] = []
+    missing = [path for path in paths if not path.exists()]
+    if len(missing) == len(paths):
+        # A sweep's grid always has cells, so at least one shard file
+        # must exist; all-missing means typo'd paths (or an unexpanded
+        # shell glob), and proceeding would atomically truncate out_path.
+        raise ValueError(
+            "no input store exists: " + ", ".join(str(p) for p in missing)
+        )
+    for path in paths:
+        store = ResultStore(path)
+        for key, result in store.load().items():
+            previous = merged.get(key)
+            if previous is not None and previous.to_record() != result.to_record():
+                conflicts.append(key)
+                if previous.ok and not result.ok:
+                    continue  # never let a failure shadow a success
+            merged[key] = result
+        n_corrupt += store.n_corrupt
+        n_stale += store.n_stale
+
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out_path.with_suffix(out_path.suffix + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        for result in merged.values():
+            fh.write(json.dumps(result.to_record()) + "\n")
+    tmp.replace(out_path)
+    return MergeReport(
+        out_path=out_path,
+        n_cells=len(merged),
+        n_inputs=len(paths),
+        n_corrupt=n_corrupt,
+        n_stale=n_stale,
+        conflict_keys=conflicts,
+        missing_inputs=missing,
+    )

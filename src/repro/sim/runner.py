@@ -24,15 +24,27 @@ builder, sequence generator and prefetchers are all explicitly seeded
 from spec fields, and cells share no mutable state -- so ``jobs=1`` and
 ``jobs=N`` produce bit-identical metrics, and a resumed run is
 indistinguishable from a fresh one.
+
+Fault tolerance: a sweep is only as strong as its weakest cell, so the
+runner bounds every attempt.  ``timeout`` arms a wall-clock limit
+around each cell (delivered via ``SIGALRM`` *inside* the process
+running it, so it fires for serial and pooled cells alike), ``retries``
+grants a bounded number of fresh attempts, and a cell that still fails
+is recorded in the store as a ``status: failed`` / ``status: timeout``
+envelope -- the sweep carries on, and the next resume retries exactly
+the failed cells.
 """
 
 from __future__ import annotations
 
 import cProfile
+import contextlib
+import signal
+import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
@@ -56,12 +68,20 @@ from repro.datagen import (
 from repro.index import FlatIndex, GridIndex, STRTree
 from repro.sim.engine import SimulationConfig
 from repro.sim.experiment import run_experiment
-from repro.sim.results import CellResult, ResultStore, canonical_json, cell_key
+from repro.sim.results import (
+    STATUS_FAILED,
+    STATUS_TIMEOUT,
+    CellResult,
+    ResultStore,
+    canonical_json,
+    cell_key,
+)
 from repro.storage.disk import DiskParameters
 from repro.workload.sequence import generate_sequences
 
 __all__ = [
     "CellSpec",
+    "CellTimeoutError",
     "DatasetSpec",
     "ExperimentMatrix",
     "IndexSpec",
@@ -90,6 +110,34 @@ _INDEX_BUILDERS: dict[str, Callable[..., Any]] = {
     "grid": GridIndex,
 }
 
+def _build_sleep_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
+    """Fault-injection kind: stall ``seconds`` before behaving as ``none``.
+
+    Exists so the timeout/retry machinery can be exercised with a real
+    cell spec in any worker process (registries travel with the module,
+    unlike monkeypatches, so this works under every multiprocessing
+    start method).
+    """
+    time.sleep(float(p.get("seconds", 0.0)))
+    return NoPrefetcher()
+
+
+def _build_fail_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
+    """Fault-injection kind: raise during construction.
+
+    With ``once_flag`` set, the first attempt creates that file and
+    raises while later attempts succeed -- a deterministic transient
+    failure for exercising retry-then-succeed.
+    """
+    flag = p.get("once_flag")
+    if flag is not None:
+        flag_path = Path(flag)
+        if flag_path.exists():
+            return NoPrefetcher()
+        flag_path.touch()
+    raise RuntimeError(str(p.get("message", "injected cell failure")))
+
+
 _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     "scout": lambda ds, ix, p: ScoutPrefetcher(ds, ScoutConfig(**p)),
     "scout-opt": lambda ds, ix, p: ScoutOptPrefetcher(ds, ix, ScoutConfig(**p)),
@@ -101,6 +149,9 @@ _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     "layered": lambda ds, ix, p: LayeredPrefetcher(ds, **p),
     "none": lambda ds, ix, p: NoPrefetcher(),
     "oracle": lambda ds, ix, p: OraclePrefetcher(),
+    # Fault-injection kinds for the orchestrator's own test surface.
+    "_sleep": _build_sleep_prefetcher,
+    "_fail": _build_fail_prefetcher,
 }
 
 
@@ -291,6 +342,67 @@ class ExperimentMatrix:
         )
 
 
+# -- wall-clock limits --------------------------------------------------------------
+
+
+class CellTimeoutError(Exception):
+    """A cell exceeded its per-attempt wall-clock budget."""
+
+
+def _on_alarm(signum: int, frame: Any) -> None:
+    raise CellTimeoutError("cell exceeded its wall-clock timeout")
+
+
+@contextlib.contextmanager
+def _wall_clock_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`CellTimeoutError` in the block after ``seconds``.
+
+    Enforced with ``SIGALRM``/``setitimer``, which interrupts Python
+    bytecode and most blocking syscalls, so it catches hung cells --
+    not just slow ones -- without any cooperation from the cell.  Only
+    the main thread of a process can receive the signal; off-main-thread
+    callers (and platforms without ``SIGALRM``) run unlimited, which is
+    safe because pool workers and the serial runner both execute cells
+    on their main thread.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    if seconds <= 0:
+        raise ValueError(f"timeout must be positive, got {seconds}")
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure_result(
+    spec: CellSpec, status: str, error: str, attempts: int, elapsed_seconds: float
+) -> CellResult:
+    """The persisted envelope for a cell that exhausted its attempts."""
+    return CellResult(
+        key=spec.key(),
+        spec=spec.to_dict(),
+        metrics=None,
+        elapsed_seconds=elapsed_seconds,
+        status=status,
+        attempts=attempts,
+        error=error,
+    )
+
+
+def _error_status(error: BaseException) -> tuple[str, str]:
+    status = STATUS_TIMEOUT if isinstance(error, CellTimeoutError) else STATUS_FAILED
+    return status, f"{type(error).__name__}: {error}"
+
+
 # -- the single-cell primitive ------------------------------------------------------
 
 #: Per-process memo of built datasets/indexes.  Sibling cells in one
@@ -388,12 +500,45 @@ def profiled_run_cell(spec: CellSpec, profile_dir: str | Path) -> CellResult:
     return result
 
 
-def _run_cell_record(spec_dict: dict, profile_dir: str | None = None) -> dict:
-    """Worker entry point: plain dicts in, plain dicts out."""
+def _attempt_cell(
+    spec: CellSpec, profile_dir: str | Path | None, timeout: float | None
+) -> CellResult:
+    """One timed attempt at a cell (raises on failure or timeout)."""
+    with _wall_clock_limit(timeout):
+        if profile_dir is not None:
+            return profiled_run_cell(spec, profile_dir)
+        return run_cell(spec)
+
+
+#: Marker key of in-band worker error records (a dict key that cannot
+#: clash with ``CellResult.to_record()`` fields).
+_ERROR_KEY = "__cell_error__"
+
+
+def _run_cell_record(
+    spec_dict: dict, profile_dir: str | None = None, timeout: float | None = None
+) -> dict:
+    """Worker entry point: plain dicts in, plain dicts out.
+
+    The wall-clock limit is armed here, inside the worker, so a hung
+    cell interrupts *itself*.  Failures come back as an error record
+    (under the ``_ERROR_KEY``) instead of a raised exception so the
+    attempt's *execution* time travels with them -- the parent cannot
+    tell queue wait from run time on its own.
+    """
     spec = CellSpec.from_dict(spec_dict)
-    if profile_dir is not None:
-        return profiled_run_cell(spec, profile_dir).to_record()
-    return run_cell(spec).to_record()
+    started = time.perf_counter()
+    try:
+        return _attempt_cell(spec, profile_dir, timeout).to_record()
+    except Exception as error:  # noqa: BLE001 - becomes a failure record
+        status, message = _error_status(error)
+        return {
+            _ERROR_KEY: {
+                "status": status,
+                "error": message,
+                "elapsed_seconds": time.perf_counter() - started,
+            }
+        }
 
 
 # -- the runner ---------------------------------------------------------------------
@@ -401,12 +546,20 @@ def _run_cell_record(spec_dict: dict, profile_dir: str | None = None) -> dict:
 
 @dataclass
 class RunReport:
-    """What a :meth:`ParallelRunner.run` call did."""
+    """What a :meth:`ParallelRunner.run` call did.
+
+    ``computed_keys`` are cells that produced metrics this run;
+    ``failed_keys`` are cells recorded with a failure envelope after
+    exhausting their attempts (their :class:`CellResult` entries in
+    ``results`` carry ``metrics=None``); ``skipped_keys`` were reused
+    from the store.
+    """
 
     results: list[CellResult]
     computed_keys: list[str]
     skipped_keys: list[str]
     elapsed_seconds: float
+    failed_keys: list[str] = field(default_factory=list)
 
     @property
     def n_computed(self) -> int:
@@ -415,6 +568,14 @@ class RunReport:
     @property
     def n_skipped(self) -> int:
         return len(self.skipped_keys)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_keys)
+
+    @property
+    def ok_results(self) -> list[CellResult]:
+        return [result for result in self.results if result.ok]
 
 
 class ParallelRunner:
@@ -425,7 +586,13 @@ class ParallelRunner:
     :class:`~concurrent.futures.ProcessPoolExecutor`; only spec dicts
     and metric records cross process boundaries.  With a ``store``,
     finished cells are appended as soon as they complete and, when
-    ``resume`` is on, cells whose key is already stored are skipped.
+    ``resume`` is on, cells whose key is already stored *with metrics*
+    are skipped -- stored failure records are retried, so resuming a
+    sweep converges on a fully-ok store.
+
+    ``timeout`` bounds each attempt's wall-clock seconds; ``retries``
+    is how many *extra* attempts a crashing or timed-out cell gets
+    before it is recorded as a failure envelope and the sweep moves on.
     """
 
     def __init__(
@@ -433,14 +600,22 @@ class ParallelRunner:
         jobs: int = 1,
         store: ResultStore | None = None,
         profile_dir: str | Path | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = int(jobs)
         self.store = store
         #: When set, every computed cell runs under cProfile and dumps a
         #: per-cell ``.prof`` file into this directory.
         self.profile_dir = None if profile_dir is None else Path(profile_dir)
+        self.timeout = None if timeout is None else float(timeout)
+        self.retries = int(retries)
 
     def run(
         self,
@@ -463,7 +638,9 @@ class ParallelRunner:
         if resume and self.store is not None:
             stored = self.store.load(reload=True)
             for key in dict.fromkeys(keys):
-                if key in stored:
+                # Only successful records satisfy a resume; a stored
+                # failure envelope means the cell still owes metrics.
+                if key in stored and stored[key].ok:
                     done[key] = stored[key]
                     skipped.append(key)
 
@@ -475,35 +652,92 @@ class ParallelRunner:
                 todo.append(spec)
 
         computed: list[str] = []
+        failed: list[str] = []
         if todo:
             for result in self._compute(todo):
                 done[result.key] = result
-                computed.append(result.key)
+                (computed if result.ok else failed).append(result.key)
                 if self.store is not None:
                     self.store.append(result)
                 if progress is not None:
                     progress(result)
+        if self.store is not None:
+            self.store.flush()
 
         return RunReport(
             results=[done[key] for key in keys],
             computed_keys=computed,
             skipped_keys=skipped,
             elapsed_seconds=time.perf_counter() - started,
+            failed_keys=failed,
         )
 
+    @property
+    def _attempts(self) -> int:
+        return self.retries + 1
+
     def _compute(self, specs: list[CellSpec]) -> Iterator[CellResult]:
-        profile_dir = None if self.profile_dir is None else str(self.profile_dir)
         if self.jobs == 1 or len(specs) == 1:
-            for spec in specs:
-                if profile_dir is not None:
-                    yield profiled_run_cell(spec, profile_dir)
+            yield from self._compute_serial(specs)
+        else:
+            yield from self._compute_pooled(specs)
+
+    def _compute_serial(self, specs: list[CellSpec]) -> Iterator[CellResult]:
+        for spec in specs:
+            elapsed = 0.0
+            for attempt in range(1, self._attempts + 1):
+                started = time.perf_counter()
+                try:
+                    result = _attempt_cell(spec, self.profile_dir, self.timeout)
+                except Exception as error:  # noqa: BLE001 - becomes a failure record
+                    elapsed += time.perf_counter() - started
+                    if attempt >= self._attempts:
+                        status, message = _error_status(error)
+                        yield _failure_result(spec, status, message, attempt, elapsed)
                 else:
-                    yield run_cell(spec)
-            return
+                    yield replace(result, attempts=attempt)
+                    break
+
+    def _compute_pooled(self, specs: list[CellSpec]) -> Iterator[CellResult]:
+        profile_dir = None if self.profile_dir is None else str(self.profile_dir)
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
-            futures = [
-                pool.submit(_run_cell_record, spec.to_dict(), profile_dir)
-                for spec in specs
-            ]
-            for future in as_completed(futures):
-                yield CellResult.from_record(future.result())
+
+            def submit(spec: CellSpec) -> Future:
+                return pool.submit(
+                    _run_cell_record, spec.to_dict(), profile_dir, self.timeout
+                )
+
+            # Future -> (spec, attempt number, execution seconds already
+            # spent in failed attempts -- worker-measured, so queue wait
+            # in a busy pool never inflates a failure envelope).
+            pending: dict[Future, tuple[CellSpec, int, float]] = {
+                submit(spec): (spec, 1, 0.0) for spec in specs
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec, attempt, elapsed = pending.pop(future)
+                    try:
+                        record = future.result()
+                    except Exception as error:  # noqa: BLE001 - failure record
+                        # Out-of-band failure (e.g. a result that cannot
+                        # unpickle); no worker timing available.
+                        status, message = _error_status(error)
+                        failure = (status, message, elapsed)
+                    else:
+                        worker_error = record.get(_ERROR_KEY)
+                        if worker_error is None:
+                            yield replace(
+                                CellResult.from_record(record), attempts=attempt
+                            )
+                            continue
+                        failure = (
+                            worker_error["status"],
+                            worker_error["error"],
+                            elapsed + worker_error["elapsed_seconds"],
+                        )
+                    status, message, elapsed = failure
+                    if attempt < self._attempts:
+                        pending[submit(spec)] = (spec, attempt + 1, elapsed)
+                    else:
+                        yield _failure_result(spec, status, message, attempt, elapsed)

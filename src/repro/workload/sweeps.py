@@ -1,11 +1,24 @@
-"""Parameter sweeps for the sensitivity analysis (paper §7.4, Fig 13).
+"""Parameter sweeps for the paper's evaluation grids (Figs 10-13).
 
-Each sweep fixes the §7.4 defaults -- 25-query sequences, 80,000 µm³
-cubes, prefetch-window ratio 1 -- and varies one parameter.  The paper
-sweeps absolute values tied to its 450M-object tissue; we keep the
-paper's values where units transfer (volume, window ratio, sequence
-length, grid resolution, gap distance) and scale the density axis to
-synthetic-tissue sizes (Fig 13b varies objects at fixed volume).
+Two families of declarative grids live here:
+
+* the **microbenchmark grids** -- :func:`fig10_matrix` (the Figure-10
+  workload registry under one prefetcher), :func:`fig11_matrix` (the
+  no-gap microbenchmarks crossed with the standard prefetcher
+  comparison set) and :func:`fig12_matrix` (the with-gap rows, adding
+  SCOUT-OPT) -- built straight from
+  :data:`repro.workload.benchmarks.MICROBENCHMARKS`;
+* the **sensitivity sweeps** (paper §7.4, Fig 13): each panel fixes the
+  §7.4 defaults -- 25-query sequences, 80,000 µm³ cubes,
+  prefetch-window ratio 1 -- and varies one parameter.  The paper
+  sweeps absolute values tied to its 450M-object tissue; we keep the
+  paper's values where units transfer (volume, window ratio, sequence
+  length, grid resolution, gap distance) and scale the density axis to
+  synthetic-tissue sizes (Fig 13b varies objects at fixed volume).
+
+All builders return pure-data :class:`~repro.sim.ExperimentMatrix`
+values; run them with :class:`~repro.sim.ParallelRunner` (cells are
+keyed by content hash, so repeated runs resume from the store).
 """
 
 from __future__ import annotations
@@ -14,13 +27,22 @@ import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.workload.benchmarks import MICROBENCHMARKS, microbenchmark_names
+
 __all__ = [
+    "FIG11_PREFETCHERS",
+    "FIG12_PREFETCHERS",
     "FIG13_PANELS",
+    "FIGURE_MATRICES",
     "SENSITIVITY_DEFAULTS",
     "SweepDefaults",
+    "fig10_matrix",
+    "fig11_matrix",
+    "fig12_matrix",
     "fig13_axes",
     "fig13_axis_value",
     "fig13_matrix",
+    "microbenchmark_of",
     "scale_factor",
 ]
 
@@ -181,6 +203,190 @@ def fig13_matrix(
         prefetchers=prefetchers,
         seeds=(workload_seed,),
     )
+
+
+# -- the Fig-10/11/12 microbenchmark grids ------------------------------------------
+
+#: The standard prefetcher comparison set of Figure 11 (kind, params).
+FIG11_PREFETCHERS: tuple[tuple[str, dict], ...] = (
+    ("ewma", {"lam": 0.3}),
+    ("straight-line", {}),
+    ("hilbert", {}),
+    ("scout", {}),
+)
+
+#: Figure 12 adds SCOUT-OPT, whose index-assisted gap traversal is the
+#: point of the with-gap comparison.
+FIG12_PREFETCHERS: tuple[tuple[str, dict], ...] = FIG11_PREFETCHERS + (("scout-opt", {}),)
+
+
+def _microbenchmark_matrix(
+    benches: Sequence[str],
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]],
+    *,
+    n_neurons: int | None,
+    n_sequences: int | None,
+    dataset_seed: int,
+    workload_seed: int,
+    fanout: int,
+    defaults: SweepDefaults,
+):
+    # Imported here: repro.sim.runner imports repro.workload.sequence,
+    # so a module-level import would be circular through repro.sim.
+    from repro.sim.runner import (
+        DatasetSpec,
+        ExperimentMatrix,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+
+    if not benches:
+        raise ValueError("benches must name at least one microbenchmark")
+    unknown = [name for name in benches if name not in MICROBENCHMARKS]
+    if unknown:
+        known = ", ".join(MICROBENCHMARKS)
+        raise ValueError(f"unknown microbenchmark(s) {', '.join(unknown)}; known: {known}")
+    n_neurons = defaults.n_neurons if n_neurons is None else int(n_neurons)
+    n_sequences = defaults.n_sequences if n_sequences is None else int(n_sequences)
+    workloads = tuple(
+        WorkloadSpec(
+            n_sequences=n_sequences,
+            n_queries=MICROBENCHMARKS[name].n_queries,
+            volume=MICROBENCHMARKS[name].volume,
+            gap=MICROBENCHMARKS[name].gap,
+            aspect=MICROBENCHMARKS[name].aspect,
+            window_ratio=MICROBENCHMARKS[name].window_ratio,
+        )
+        for name in benches
+    )
+    return ExperimentMatrix(
+        datasets=(DatasetSpec("neuron", {"n_neurons": n_neurons, "seed": dataset_seed}),),
+        indexes=(IndexSpec("flat", {"fanout": fanout}),),
+        workloads=workloads,
+        prefetchers=tuple(PrefetcherSpec(kind, dict(params)) for kind, params in prefetchers),
+        seeds=(workload_seed,),
+    )
+
+
+def fig10_matrix(
+    *,
+    benches: Sequence[str] | None = None,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = (("scout", {}),),
+    n_neurons: int | None = None,
+    n_sequences: int | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 11,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+):
+    """The full Figure-10 microbenchmark registry as one matrix.
+
+    All seven workload rows (ad-hoc, model building, visualization with
+    and without gaps) under a single prefetcher -- the grid behind the
+    paper's headline SCOUT numbers, and the cheapest whole-registry
+    smoke sweep.  ``benches`` restricts the rows (e.g. for CI slices).
+    """
+    benches = microbenchmark_names() if benches is None else list(benches)
+    return _microbenchmark_matrix(
+        benches,
+        prefetchers,
+        n_neurons=n_neurons,
+        n_sequences=n_sequences,
+        dataset_seed=dataset_seed,
+        workload_seed=workload_seed,
+        fanout=fanout,
+        defaults=defaults,
+    )
+
+
+def fig11_matrix(
+    *,
+    benches: Sequence[str] | None = None,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = FIG11_PREFETCHERS,
+    n_neurons: int | None = None,
+    n_sequences: int | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 11,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+):
+    """Figure 11: the no-gap microbenchmarks x the standard prefetchers.
+
+    Matches the direct harness in ``benchmarks/test_fig11_microbenchmarks.py``
+    (workload seed 11) cell for cell; the declarative form adds resume,
+    sharding and fault tolerance on top.
+    """
+    benches = microbenchmark_names(with_gaps=False) if benches is None else list(benches)
+    return _microbenchmark_matrix(
+        benches,
+        prefetchers,
+        n_neurons=n_neurons,
+        n_sequences=n_sequences,
+        dataset_seed=dataset_seed,
+        workload_seed=workload_seed,
+        fanout=fanout,
+        defaults=defaults,
+    )
+
+
+def fig12_matrix(
+    *,
+    benches: Sequence[str] | None = None,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = FIG12_PREFETCHERS,
+    n_neurons: int | None = None,
+    n_sequences: int | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 12,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+):
+    """Figure 12: the with-gap microbenchmarks, with SCOUT-OPT added.
+
+    Matches ``benchmarks/test_fig12_gaps.py`` (workload seed 12).
+    """
+    benches = microbenchmark_names(with_gaps=True) if benches is None else list(benches)
+    return _microbenchmark_matrix(
+        benches,
+        prefetchers,
+        n_neurons=n_neurons,
+        n_sequences=n_sequences,
+        dataset_seed=dataset_seed,
+        workload_seed=workload_seed,
+        fanout=fanout,
+        defaults=defaults,
+    )
+
+
+#: Figure number -> (matrix builder, default benches) for the
+#: microbenchmark-grid figures; Figure 13 keeps its panel-based API.
+FIGURE_MATRICES: dict[int, Any] = {
+    10: fig10_matrix,
+    11: fig11_matrix,
+    12: fig12_matrix,
+}
+
+
+def microbenchmark_of(spec: Mapping[str, Any]) -> str | None:
+    """The Figure-10 row a cell-spec dict's workload instantiates.
+
+    Matches on the registry parameters (queries, volume, gap, aspect,
+    window ratio; the sequence count is a harness knob, not part of the
+    benchmark's identity).  Returns ``None`` for workloads that are not
+    microbenchmark rows (e.g. Fig-13 sensitivity cells), so callers can
+    label arbitrary stores.
+    """
+    workload = spec["workload"]
+    for name, bench in MICROBENCHMARKS.items():
+        if (
+            int(workload["n_queries"]) == bench.n_queries
+            and float(workload["volume"]) == bench.volume
+            and float(workload["gap"]) == bench.gap
+            and workload["aspect"] == bench.aspect
+            and float(workload["window_ratio"]) == bench.window_ratio
+        ):
+            return name
+    return None
 
 
 def fig13_axis_value(panel: str, spec: Mapping[str, Any]):

@@ -218,6 +218,92 @@ class TestSweepCli:
         assert main(["sweep", "--panels", "q"]) == 2
         assert "unknown panel" in capsys.readouterr().out
 
+    def test_sweep_figure_10_renders_bench_tables(self, capsys, tmp_path):
+        args = [
+            "sweep", "--figure", "10", "--benches", "adhoc_stat",
+            "--neurons", "6", "--sequences", "2",
+            "--out", str(tmp_path / "fig10.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Fig 10 sweep" in out and "adhoc_stat" in out
+        assert "computed 1" in out and "failed 0" in out
+
+        assert main(args) == 0
+        assert "resumed 1" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_bench(self, capsys, tmp_path):
+        args = [
+            "sweep", "--figure", "11", "--benches", "warp_drive",
+            "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(args) == 2
+        assert "unknown microbenchmark" in capsys.readouterr().out
+
+    def test_sweep_rejects_malformed_shard(self, capsys, tmp_path):
+        for shard in ("2/2", "a/b", "3"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", "--shard", shard, "--out", str(tmp_path / "s.jsonl")])
+            assert excinfo.value.code == 2
+
+    def test_sharded_sweep_merges_to_full_grid(self, capsys, tmp_path):
+        out = tmp_path / "fig10.jsonl"
+        base = [
+            "sweep", "--figure", "10", "--benches", "adhoc_stat,model_building",
+            "--neurons", "6", "--sequences", "2", "--out", str(out),
+        ]
+        shard_cells = []
+        for shard in ("0/2", "1/2"):
+            assert main(base + ["--shard", shard]) == 0
+            summary = capsys.readouterr().out
+            assert f"shard {shard}" in summary
+            shard_cells.append(int(summary.split("cells ", 1)[1].split()[0]))
+        assert sum(shard_cells) == 2  # the slices partition the grid
+
+        shard_paths = [str(tmp_path / f"fig10.shard{i}of2.jsonl") for i in (0, 1)]
+        assert main(["merge", "--out", str(out)] + shard_paths) == 0
+        merge_out = capsys.readouterr().out
+        assert "merged 2 cells" in merge_out
+
+        # The merged store satisfies an unsharded resume of the grid.
+        assert main(base) == 0
+        assert "resumed 2" in capsys.readouterr().out
+
+    def test_sweep_rejects_mixed_figure_flags(self, tmp_path):
+        mixed = [
+            ["sweep", "--figure", "10", "--panels", "a"],
+            ["sweep", "--figure", "11", "--points", "2"],
+            ["sweep", "--figure", "13", "--benches", "adhoc_stat"],
+        ]
+        for args in mixed:
+            with pytest.raises(SystemExit) as excinfo:
+                main(args + ["--out", str(tmp_path / "s.jsonl")])
+            assert excinfo.value.code == 2, args
+
+    def test_merge_warns_about_missing_inputs(self, capsys, tmp_path):
+        out = tmp_path / "fig10.jsonl"
+        assert main([
+            "sweep", "--figure", "10", "--benches", "adhoc_stat",
+            "--neurons", "6", "--sequences", "2", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["merge", "--out", str(out), str(out), missing]) == 0
+        merge_out = capsys.readouterr().out
+        assert "does not exist" in merge_out and "missing-inputs 1" in merge_out
+        assert "merged 1 cells" in merge_out
+
+    def test_sweep_list_cells_names_benches(self, capsys, tmp_path):
+        args = [
+            "sweep", "--figure", "12", "--list-cells",
+            "--neurons", "6", "--sequences", "2",
+            "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "bench=vis_gaps_high" in out and "scout-opt" in out
+        assert "10 cells" in out  # 2 gap benches x 5 prefetchers
+
     def test_sweep_neurons_rescales_density_panel(self, capsys, tmp_path):
         # Panel b's axis is the neuron count; --neurons must shrink it
         # rather than being silently ignored (first tick 40 -> 40*4/80).

@@ -1,0 +1,217 @@
+"""Fault tolerance of the sweep orchestrator.
+
+The contract under test: a crashing or hung cell (1) gets a bounded
+number of retries, (2) is recorded in the store as a ``status:
+failed|timeout`` envelope instead of aborting the sweep, and (3) is
+retried -- not skipped -- on the next resume, so a store converges on
+all-ok as causes are fixed.  Legacy schema-1 records still load, and
+schema-envelope mismatches are classified stale (recomputed), never
+rendered.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import (
+    CellResult,
+    CellSpec,
+    DatasetSpec,
+    IndexSpec,
+    ParallelRunner,
+    PrefetcherSpec,
+    ResultStore,
+    WorkloadSpec,
+    run_cell,
+)
+
+TINY_DATASET = DatasetSpec("neuron", {"n_neurons": 6, "seed": 11})
+TINY_INDEX = IndexSpec("flat", {"fanout": 16})
+TINY_WORKLOAD = WorkloadSpec(n_sequences=2, n_queries=5, volume=20_000.0)
+
+
+def cell(prefetcher: PrefetcherSpec) -> CellSpec:
+    return CellSpec(TINY_DATASET, TINY_INDEX, TINY_WORKLOAD, prefetcher, seed=3)
+
+
+OK_CELL = cell(PrefetcherSpec("none"))
+HANGING_CELL = cell(PrefetcherSpec("_sleep", {"seconds": 60.0}))
+RAISING_CELL = cell(PrefetcherSpec("_fail", {"message": "injected kaboom"}))
+
+
+class TestFailureEnvelope:
+    def test_raising_cell_recorded_not_raised(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=1, store=store, retries=0).run([RAISING_CELL, OK_CELL])
+        failed, ok = report.results
+        assert failed.status == "failed" and not failed.ok
+        assert failed.metrics is None
+        assert "injected kaboom" in failed.error
+        assert ok.ok and ok.metrics is not None
+        assert report.n_failed == 1 and report.n_computed == 1
+        assert report.failed_keys == [RAISING_CELL.key()]
+        assert report.ok_results == [ok]
+
+    def test_retries_counted_in_envelope(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=1, store=store, retries=2).run([RAISING_CELL])
+        assert report.results[0].attempts == 3
+
+    def test_failure_record_round_trips_through_store(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ParallelRunner(jobs=1, store=ResultStore(path), retries=0).run([RAISING_CELL])
+        reloaded = ResultStore(path).load()[RAISING_CELL.key()]
+        assert reloaded.status == "failed"
+        assert reloaded.metrics is None
+        assert "injected kaboom" in reloaded.error
+
+    def test_resume_retries_failures_but_skips_ok(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ParallelRunner(jobs=1, store=ResultStore(path), retries=0).run([RAISING_CELL, OK_CELL])
+        report = ParallelRunner(jobs=1, store=ResultStore(path), retries=0).run(
+            [RAISING_CELL, OK_CELL]
+        )
+        assert report.skipped_keys == [OK_CELL.key()]
+        assert report.failed_keys == [RAISING_CELL.key()]
+
+    def test_transient_failure_succeeds_on_retry(self, tmp_path):
+        flaky = cell(PrefetcherSpec("_fail", {"once_flag": str(tmp_path / "flag")}))
+        report = ParallelRunner(jobs=1, retries=1).run([flaky])
+        result = report.results[0]
+        assert result.ok and result.attempts == 2
+        assert report.n_computed == 1 and report.n_failed == 0
+
+    def test_pooled_failures_do_not_abort_siblings(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=2, store=store, retries=0).run(
+            [RAISING_CELL, OK_CELL, cell(PrefetcherSpec("straight-line"))]
+        )
+        assert report.n_failed == 1 and report.n_computed == 2
+        assert all(r.ok for r in report.results[1:])
+
+    def test_invalid_envelope_states_rejected(self):
+        ok = run_cell(OK_CELL)
+        with pytest.raises(ValueError, match="status"):
+            CellResult(key=ok.key, spec=ok.spec, metrics=ok.metrics, status="exploded")
+        with pytest.raises(ValueError, match="inconsistent"):
+            CellResult(key=ok.key, spec=ok.spec, metrics=None, status="ok")
+        with pytest.raises(ValueError, match="inconsistent"):
+            CellResult(key=ok.key, spec=ok.spec, metrics=ok.metrics, status="failed")
+
+
+class TestTimeouts:
+    def test_hanging_cell_times_out_and_sweep_continues(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=1, store=store, timeout=0.3, retries=1).run(
+            [HANGING_CELL, OK_CELL]
+        )
+        hung, ok = report.results
+        assert hung.status == "timeout"
+        assert hung.attempts == 2  # retried once before giving up
+        assert "timeout" in hung.error.lower()
+        assert ok.ok
+
+    def test_pooled_hanging_cell_times_out(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=2, store=store, timeout=0.3, retries=0).run(
+            [HANGING_CELL, OK_CELL]
+        )
+        by_key = {r.key: r for r in report.results}
+        assert by_key[HANGING_CELL.key()].status == "timeout"
+        assert by_key[OK_CELL.key()].ok
+
+    def test_pooled_failure_elapsed_excludes_queue_wait(self, tmp_path):
+        # With jobs=1 worth of slots busy, a queued cell waits; its
+        # failure envelope must still record execution time (~timeout
+        # per attempt), not time-since-submit.
+        report = ParallelRunner(jobs=2, timeout=0.3, retries=0).run(
+            [HANGING_CELL, cell(PrefetcherSpec("_sleep", {"seconds": 61.0})), OK_CELL]
+        )
+        for result in report.results[:2]:
+            assert result.status == "timeout"
+            assert result.elapsed_seconds < 5.0
+
+    def test_timeout_leaves_fast_cells_untouched(self):
+        generous = ParallelRunner(jobs=1, timeout=120.0).run([OK_CELL]).results[0]
+        unlimited = ParallelRunner(jobs=1).run([OK_CELL]).results[0]
+        assert generous.ok
+        assert generous.metrics == unlimited.metrics
+
+    def test_runner_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ParallelRunner(timeout=0)
+        with pytest.raises(ValueError, match="retries"):
+            ParallelRunner(retries=-1)
+
+
+class TestSchemaCompatibility:
+    def _stored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ParallelRunner(jobs=1, store=ResultStore(path)).run([OK_CELL])
+        return path
+
+    def test_schema1_record_loads_as_ok(self, tmp_path):
+        path = self._stored(tmp_path)
+        record = json.loads(path.read_text())
+        for legacy_unknown in ("status", "attempts", "error"):
+            record.pop(legacy_unknown)
+        record["schema"] = 1
+        path.write_text(json.dumps(record) + "\n")
+
+        store = ResultStore(path)
+        result = store.load()[OK_CELL.key()]
+        assert result.ok and result.attempts == 1 and result.error is None
+        assert store.n_stale == 0 and store.n_corrupt == 0
+
+    def test_missing_metric_key_is_stale_not_corrupt(self, tmp_path):
+        path = self._stored(tmp_path)
+        record = json.loads(path.read_text())
+        del record["metrics"]["prediction_seconds"]  # written by an older revision
+        path.write_text(json.dumps(record) + "\n")
+
+        store = ResultStore(path)
+        assert store.load() == {}
+        assert store.n_stale == 1 and store.n_corrupt == 0
+        assert store.n_dropped == 1
+
+        # The stale cell is recomputed, not rendered from the old row.
+        report = ParallelRunner(jobs=1, store=store).run([OK_CELL])
+        assert report.n_computed == 1 and report.n_skipped == 0
+
+    def test_unknown_schema_version_is_stale(self, tmp_path):
+        path = self._stored(tmp_path)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        path.write_text(json.dumps(record) + "\n")
+
+        store = ResultStore(path)
+        store.load()
+        assert store.n_stale == 1 and store.n_corrupt == 0
+
+    def test_garbled_line_is_corrupt_not_stale(self, tmp_path):
+        path = self._stored(tmp_path)
+        path.write_text("{ not json\n")
+        store = ResultStore(path)
+        store.load()
+        assert store.n_corrupt == 1 and store.n_stale == 0
+
+    def test_ok_results_excludes_failures(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        ParallelRunner(jobs=1, store=store, retries=0).run([RAISING_CELL, OK_CELL])
+        assert {r.key for r in store.ok_results()} == {OK_CELL.key()}
+        assert len(store.results()) == 2
+
+    def test_compact_clears_stale_counts(self, tmp_path):
+        path = self._stored(tmp_path)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        with path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+        store = ResultStore(path)
+        assert store.compact() == 1
+        fresh = ResultStore(path)
+        fresh.load()
+        assert fresh.n_stale == 0 and fresh.n_corrupt == 0

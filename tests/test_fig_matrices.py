@@ -1,0 +1,138 @@
+"""The Fig-10/11/12 microbenchmark grids as declarative matrices.
+
+The contract under test: the matrix builders enumerate exactly the
+figure's (benchmark x prefetcher) grid, cells are labelled back to
+their Figure-10 rows, and -- the determinism anchor -- running a cell
+through the orchestrator produces bit-identical metrics to the direct
+``benchmarks/test_fig1*.py`` harness path (build tissue, generate
+sequences, run_experiment) on the same tiny tissue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EWMAPrefetcher, HilbertPrefetcher, StraightLinePrefetcher
+from repro.core import ScoutConfig, ScoutOptPrefetcher, ScoutPrefetcher
+from repro.datagen import make_neuron_tissue
+from repro.index import FlatIndex
+from repro.sim import run_cell, run_experiment
+from repro.workload import MICROBENCHMARKS, microbenchmark_names
+from repro.workload.sweeps import (
+    FIG11_PREFETCHERS,
+    FIG12_PREFETCHERS,
+    fig10_matrix,
+    fig11_matrix,
+    fig12_matrix,
+    microbenchmark_of,
+)
+
+TINY_NEURONS = 6
+SEED = 7
+FANOUT = 16
+SEQUENCES = 2
+
+
+@pytest.fixture(scope="module")
+def tissue():
+    return make_neuron_tissue(n_neurons=TINY_NEURONS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def tissue_index(tissue):
+    return FlatIndex(tissue, fanout=FANOUT)
+
+
+def tiny(builder, **overrides):
+    return builder(
+        n_neurons=TINY_NEURONS,
+        n_sequences=SEQUENCES,
+        dataset_seed=SEED,
+        fanout=FANOUT,
+        **overrides,
+    )
+
+
+class TestGridShapes:
+    def test_fig10_covers_the_whole_registry(self):
+        matrix = tiny(fig10_matrix)
+        assert len(matrix) == len(MICROBENCHMARKS)
+        assert {cell.prefetcher.kind for cell in matrix} == {"scout"}
+
+    def test_fig11_is_no_gap_benches_by_standard_prefetchers(self):
+        matrix = tiny(fig11_matrix)
+        no_gap = microbenchmark_names(with_gaps=False)
+        assert len(matrix) == len(no_gap) * len(FIG11_PREFETCHERS)
+        benches = {microbenchmark_of(cell.to_dict()) for cell in matrix}
+        assert benches == set(no_gap)
+
+    def test_fig12_adds_scout_opt_on_gap_benches(self):
+        matrix = tiny(fig12_matrix)
+        with_gaps = microbenchmark_names(with_gaps=True)
+        assert len(matrix) == len(with_gaps) * len(FIG12_PREFETCHERS)
+        kinds = {cell.prefetcher.kind for cell in matrix}
+        assert "scout-opt" in kinds
+        assert all(cell.workload.gap > 0 for cell in matrix)
+
+    def test_benches_subset_and_validation(self):
+        matrix = tiny(fig10_matrix, benches=["adhoc_stat", "model_building"])
+        assert len(matrix) == 2
+        with pytest.raises(ValueError, match="unknown microbenchmark"):
+            tiny(fig10_matrix, benches=["warp_drive"])
+        with pytest.raises(ValueError, match="at least one"):
+            tiny(fig10_matrix, benches=[])
+
+    def test_cells_label_back_to_their_benchmark(self):
+        for cell in tiny(fig11_matrix):
+            name = microbenchmark_of(cell.to_dict())
+            bench = MICROBENCHMARKS[name]
+            assert cell.workload.n_queries == bench.n_queries
+            assert cell.workload.window_ratio == bench.window_ratio
+
+    def test_non_benchmark_workload_labels_none(self):
+        cell = tiny(fig10_matrix).cells()[0].to_dict()
+        cell["workload"]["volume"] = 123_456.0
+        assert microbenchmark_of(cell) is None
+
+
+class TestDeterminismVsDirectHarness:
+    """Matrix cells agree bit-for-bit with the benchmarks/ harness path."""
+
+    def _direct(self, tissue, tissue_index, bench, prefetcher, seed):
+        sequences = MICROBENCHMARKS[bench].generate(tissue, SEQUENCES, seed=seed)
+        return run_experiment(tissue_index, sequences, prefetcher)
+
+    def test_fig11_cells_match_direct_runs(self, tissue, tissue_index):
+        bench = "adhoc_stat"
+        matrix = tiny(fig11_matrix, benches=[bench])
+        direct = {
+            "ewma": EWMAPrefetcher(lam=0.3),
+            "straight-line": StraightLinePrefetcher(),
+            "hilbert": HilbertPrefetcher(tissue),
+            "scout": ScoutPrefetcher(tissue, ScoutConfig()),
+        }
+        for cell in matrix:
+            expected = self._direct(
+                tissue, tissue_index, bench, direct[cell.prefetcher.kind], seed=11
+            )
+            assert run_cell(cell).metrics == expected.metrics, cell.prefetcher.kind
+
+    def test_fig12_scout_opt_matches_direct_run(self, tissue, tissue_index):
+        bench = "vis_gaps_high"
+        matrix = tiny(fig12_matrix, benches=[bench], prefetchers=(("scout-opt", {}),))
+        (cell,) = matrix.cells()
+        expected = self._direct(
+            tissue, tissue_index, bench, ScoutOptPrefetcher(tissue, tissue_index, ScoutConfig()), seed=12
+        )
+        assert run_cell(cell).metrics == expected.metrics
+
+    def test_fig10_scout_matches_fig11_scout_cell(self):
+        # Same bench, same seeds: the fig10 and fig11 grids must share
+        # content-identical scout cells (resume dedupes across figures).
+        fig10_cell = next(
+            c for c in tiny(fig10_matrix, benches=["adhoc_stat"]) if c.prefetcher.kind == "scout"
+        )
+        fig11_cell = next(
+            c for c in tiny(fig11_matrix, benches=["adhoc_stat"]) if c.prefetcher.kind == "scout"
+        )
+        assert fig10_cell.key() == fig11_cell.key()
