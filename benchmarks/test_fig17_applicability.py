@@ -8,47 +8,25 @@ shapes: (a) on small queries SCOUT leads on lung and roads, but the
 everywhere (bends and bifurcations defeat extrapolation).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import ResultTable
 from repro.workload import generate_sequences
+from repro.workload.sweeps import fig17_query_volume
 
 from helpers import hit_pct, n_sequences, run, standard_prefetchers
 
-SMALL_FRACTION = 5e-7
-LARGE_FRACTION = 5e-4
 N_QUERIES = 25
 
 
-def _dataset_volume(dataset) -> float:
-    extent = dataset.bounds.extent
-    if dataset.dims == 2:
-        return float(extent[0] * extent[1])
-    return float(np.prod(extent))
-
-
-def _query_volume(dataset, fraction: float) -> float:
-    # §8.4 sizes queries as a fraction of the dataset volume.  Our
-    # synthetic stand-ins are orders of magnitude smaller than the
-    # paper's datasets, so the small fraction is floored at a volume
-    # that returns at least a handful of objects; the large regime is
-    # kept a fixed factor above the small one so the two regimes stay
-    # distinct even when the floor binds.
-    floor = 60.0 / max(dataset.density(), 1e-12)
-    small = max(_dataset_volume(dataset) * SMALL_FRACTION, floor)
-    if fraction == SMALL_FRACTION:
-        return small
-    # Cap the large regime at 4x small: synthetic datasets are small
-    # enough that the paper's raw 5e-4 fraction would cover a large
-    # share of the whole structure and degenerate the walk.
-    return small * 4.0
-
-
 def _grid(datasets):
+    # Query volumes come from the shared Fig-17 sizing in
+    # repro.workload.sweeps (§8.4 fractions with a small-dataset floor),
+    # the same function the `sweep --figure 17` grid is built from, so
+    # this harness and the sweep engine can never drift apart.
     tables = {}
     results = {}
-    for label, fraction in (("small", SMALL_FRACTION), ("large", LARGE_FRACTION)):
+    for label in ("small", "large"):
         table = ResultTable(
             f"Fig 17{'a' if label == 'small' else 'b'} -- hit rate, {label} queries [%]",
             [name for name, _, _ in datasets],
@@ -57,7 +35,7 @@ def _grid(datasets):
         for prefetcher_name in ("ewma-0.3", "straight-line", "hilbert", "scout"):
             cells = []
             for dataset_name, dataset, index in datasets:
-                volume = _query_volume(dataset, fraction)
+                volume = fig17_query_volume(dataset, label)
                 sequences = generate_sequences(
                     dataset, max(3, n_sequences() // 2), seed=17,
                     n_queries=N_QUERIES, volume=volume,

@@ -1,0 +1,16 @@
+"""Repo-root pytest configuration.
+
+Command-line options must be declared in an *initial* conftest --
+pytest only honours :func:`pytest_addoption` from conftests of the
+invocation roots, so the flag lives here rather than in ``tests/``.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.json expected-metrics fixtures "
+        "from the current code instead of comparing against them",
+    )

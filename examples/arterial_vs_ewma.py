@@ -7,6 +7,12 @@ enough for weighted-movement extrapolation to be nearly perfect.  With
 the lead again.  This script reproduces both regimes side by side.
 
 Run:  python examples/arterial_vs_ewma.py
+
+The full Figure-17 comparison (both regimes, all three cross-domain
+datasets, the standard prefetcher set, resumable and parallel) is the
+sweep engine's job:
+
+    scout-repro sweep --figure 17 --jobs 4 --out results/fig17_sweep.jsonl
 """
 
 import numpy as np

@@ -7,6 +7,11 @@ This script compares the two construction paths on the same airway mesh
 and then runs the full prefetching pipeline on it.
 
 Run:  python examples/lung_mesh_explicit_graph.py
+
+The lung mesh is one column of the Figure-17 applicability grid; run
+the full cross-domain comparison with:
+
+    scout-repro sweep --figure 17 --jobs 4 --out results/fig17_sweep.jsonl
 """
 
 import numpy as np

@@ -6,6 +6,13 @@ so accuracy matters.  This script runs the comparison on a synthetic
 planar road network with 2D Hilbert values and planar range queries.
 
 Run:  python examples/road_network_prefetch.py
+
+Roads are one column of the Figure-17 applicability grid; sweep the
+whole figure (and compact the store after long resumed runs) with:
+
+    scout-repro sweep --figure 17 --datasets roads --jobs 4 \
+        --out results/fig17_sweep.jsonl
+    scout-repro compact results/fig17_sweep.jsonl
 """
 
 from repro.baselines import EWMAPrefetcher, HilbertPrefetcher, StraightLinePrefetcher

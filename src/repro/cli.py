@@ -1,10 +1,11 @@
 """Command-line entry point: experiment cells, parallel sweeps, benchmarks.
 
-Four forms::
+Five forms::
 
     scout-repro [run] --prefetcher scout --benchmark adhoc_stat
     scout-repro sweep --figure 11 --jobs 4 --out results/fig11.jsonl
     scout-repro merge --out results/fig11.jsonl results/fig11.shard*.jsonl
+    scout-repro compact results/fig11.jsonl
     scout-repro bench --quick --budget benchmarks/perf/budget.json
 
 ``run`` (the default when no subcommand is given, for backward
@@ -13,21 +14,29 @@ and prints its headline numbers.
 
 ``sweep`` expands an evaluation grid -- ``--figure 10|11|12`` for the
 microbenchmark grids, ``--figure 13`` (the default) with ``--panels``
-for the sensitivity panels -- into experiment cells, fans them out over
-``--jobs`` worker processes, persists every finished cell to a
-JSON-lines store keyed by the cell spec's content hash, and renders
-figure tables from the stored results.  Re-runs against the same
-``--out`` file resume: successful cells in the store are skipped
-(disable with ``--no-resume``); corrupt or stale store lines are
-dropped and recomputed.  Fault tolerance: ``--timeout`` bounds each
-cell attempt's wall-clock seconds and ``--retries`` grants extra
-attempts; a cell that still fails is recorded as a ``status:
-failed|timeout`` envelope and the sweep carries on.  ``--shard i/n``
-restricts the run to the slice of cells whose spec-hash lands in shard
-``i`` of ``n``, writing ``<out-stem>.shardIofN.jsonl`` so independent
-hosts or CI jobs can sweep disjoint slices; ``merge`` unions shard
-stores back into one file.  ``--profile`` wraps every computed cell in
-cProfile and dumps per-cell ``.prof`` files next to the result store.
+for the sensitivity panels, ``--figure 17`` with ``--panels a,b`` for
+the cross-domain applicability grid (lung/arterial/roads datasets) --
+into experiment cells, fans them out over ``--jobs`` worker processes,
+persists every finished cell to a JSON-lines store keyed by the cell
+spec's content hash, and renders figure tables from the stored results.
+Re-runs against the same ``--out`` file resume: successful cells in the
+store are skipped (disable with ``--no-resume``); corrupt or stale
+store lines are dropped and recomputed.  Fault tolerance: ``--timeout``
+bounds each cell attempt's wall-clock seconds and ``--retries`` grants
+extra attempts; a cell that still fails is recorded as a ``status:
+failed|timeout`` envelope and the sweep carries on; a worker that dies
+hard breaks the process pool, which is respawned with the in-flight
+cells re-enqueued (counted as ``pool-crashes`` in the summary).
+``--shard i/n`` restricts the run to the slice of cells whose spec-hash
+lands in shard ``i`` of ``n``, writing ``<out-stem>.shardIofN.jsonl``
+so independent hosts or CI jobs can sweep disjoint slices; ``merge``
+unions shard stores back into one file.  ``--profile`` wraps every
+computed cell in cProfile and dumps per-cell ``.prof`` files next to
+the result store.
+
+``compact`` rewrites result stores in place (atomic replace), dropping
+corrupt, stale and superseded lines accumulated by long resumed sweeps
+and reporting the bytes reclaimed.
 
 ``bench`` times the index/prediction hot paths against their scalar
 reference implementations and writes ``BENCH_<rev>.json`` (see
@@ -117,17 +126,24 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--figure",
         type=int,
-        choices=[10, 11, 12, 13],
+        choices=[10, 11, 12, 13, 17],
         default=13,
         help="which evaluation grid to sweep: the Fig-10 microbenchmark "
         "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
-        "or the Fig-13 sensitivity panels (default)",
+        "the Fig-13 sensitivity panels (default), or the Fig-17 "
+        "cross-domain applicability grid (lung/arterial/roads)",
     )
     parser.add_argument(
         "--panels",
         default=None,
-        help="comma-separated Fig-13 panel letters (default: all six; "
-        "--figure 13 only)",
+        help="comma-separated panel letters (--figure 13: a-f, default all "
+        "six; --figure 17: a=small queries, b=large queries, default both)",
+    )
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated Fig-17 dataset kinds restricting the grid "
+        "(lung, arterial, roads; default: all three; --figure 17 only)",
     )
     parser.add_argument(
         "--benches",
@@ -182,8 +198,8 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=None,
-        help="workload seed (default: 13 for Fig 13, the figure's paper "
-        "seed for Figs 10-12)",
+        help="workload seed (default: the figure number's paper seed -- "
+        "13 for Fig 13, 17 for Fig 17, 11/11/12 for Figs 10/11/12)",
     )
     parser.add_argument(
         "--points",
@@ -252,6 +268,55 @@ def _fig13_grids(args, parser) -> list[tuple[str, list]] | None:
     return grids
 
 
+def _fig17_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import FIG17_DATASET_PARAMS, FIG17_PANELS, fig17_matrix
+
+    panel_arg = "a,b" if args.panels is None else args.panels
+    panels = [p.strip() for p in panel_arg.split(",") if p.strip()]
+    if not panels:
+        parser.error("--panels must name at least one Fig-17 panel")
+    unknown = [p for p in panels if p not in FIG17_PANELS]
+    if unknown:
+        print(f"unknown panel(s): {', '.join(unknown)} (expected {', '.join(FIG17_PANELS)})")
+        return None
+
+    datasets = None
+    if args.datasets is not None:
+        kinds = [d.strip() for d in args.datasets.split(",") if d.strip()]
+        bad = [k for k in kinds if k not in FIG17_DATASET_PARAMS]
+        if bad or not kinds:
+            known = ", ".join(FIG17_DATASET_PARAMS)
+            print(f"unknown dataset(s): {', '.join(bad) or '(none)'} (expected {known})")
+            return None
+        datasets = {kind: FIG17_DATASET_PARAMS[kind] for kind in kinds}
+
+    return [
+        (
+            panel,
+            fig17_matrix(
+                panel,
+                datasets=datasets,
+                n_sequences=args.sequences,
+                workload_seed=17 if args.seed is None else args.seed,
+            ),
+        )
+        for panel in panels
+    ]
+
+
+def _render_fig17_tables(grids, results) -> None:
+    from repro.workload.sweeps import FIG17_PANELS, fig17_dataset_of
+
+    _render_panel_tables(
+        grids,
+        results,
+        figure=17,
+        titles=FIG17_PANELS,
+        column_of_for=lambda panel: lambda r: fig17_dataset_of(r.spec),
+        row_of=_prefetcher_label,
+    )
+
+
 def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     from repro.workload.sweeps import FIGURE_MATRICES
 
@@ -273,25 +338,45 @@ def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     return [(f"fig{args.figure}", matrix.cells())]
 
 
-def _render_fig13_tables(grids, results) -> None:
+def _render_panel_tables(grids, results, *, figure, titles, column_of_for, row_of) -> None:
+    """Render the hit-rate table of each panel of a panel-based figure.
+
+    ``grids`` is the (panel, cells) list the sweep ran, in order, and
+    ``results`` the run's cell-parallel result list -- each panel's
+    results are the next ``len(cells)`` entries.  ``titles`` maps a
+    panel letter to its (regime/axis, human title) pair and
+    ``column_of_for(panel)`` builds the table's column extractor.
+    """
     from repro.analysis import sweep_table
-    from repro.workload.sweeps import FIG13_PANELS, fig13_axis_value
 
     offset = 0
     for panel, cells in grids:
         panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
         offset += len(cells)
-        _, title = FIG13_PANELS[panel]
+        _, title = titles[panel]
         table = sweep_table(
-            f"Fig 13{panel} -- {title} [hit %]",
+            f"Fig {figure}{panel} -- {title} [hit %]",
             panel_results,
-            column_of=lambda r, p=panel: fig13_axis_value(p, r.spec),
-            row_of=lambda r: r.prefetcher_kind,
+            column_of=column_of_for(panel),
+            row_of=row_of,
             value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
-            figure_id=f"fig13{panel}",
+            figure_id=f"fig{figure}{panel}",
         )
         print()
         print(table.render())
+
+
+def _render_fig13_tables(grids, results) -> None:
+    from repro.workload.sweeps import FIG13_PANELS, fig13_axis_value
+
+    _render_panel_tables(
+        grids,
+        results,
+        figure=13,
+        titles=FIG13_PANELS,
+        column_of_for=lambda panel: lambda r: fig13_axis_value(panel, r.spec),
+        row_of=lambda r: r.prefetcher_kind,
+    )
 
 
 #: ``--figure`` -> figure ids of the (hit-rate, speedup) tables, keying
@@ -341,15 +426,24 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--timeout must be positive, got {args.timeout}")
     # Refuse mixed-figure flags loudly: running the wrong (possibly
     # much larger) grid is worse than an argparse error.
-    if args.figure == 13 and args.benches is not None:
-        parser.error("--benches applies to --figure 10|11|12; use --panels for Fig 13")
-    if args.figure != 13 and args.panels is not None:
-        parser.error(f"--panels applies to --figure 13, not --figure {args.figure}")
+    if args.figure in (13, 17) and args.benches is not None:
+        parser.error("--benches applies to --figure 10|11|12; use --panels for Figs 13/17")
+    if args.figure not in (13, 17) and args.panels is not None:
+        parser.error(f"--panels applies to --figure 13|17, not --figure {args.figure}")
     if args.figure != 13 and args.points is not None:
         parser.error(f"--points applies to --figure 13, not --figure {args.figure}")
+    if args.figure != 17 and args.datasets is not None:
+        parser.error(f"--datasets applies to --figure 17, not --figure {args.figure}")
+    if args.figure == 17 and args.neurons is not None:
+        parser.error("--neurons applies to the neuron-tissue grids (figures 10-13)")
     out = args.out if args.out is not None else f"results/fig{args.figure}_sweep.jsonl"
 
-    grids = _fig13_grids(args, parser) if args.figure == 13 else _microbenchmark_grids(args)
+    if args.figure == 13:
+        grids = _fig13_grids(args, parser)
+    elif args.figure == 17:
+        grids = _fig17_grids(args, parser)
+    else:
+        grids = _microbenchmark_grids(args)
     if grids is None:
         return 2
 
@@ -362,12 +456,14 @@ def _sweep_command(argv: list[str]) -> int:
 
     all_cells = [cell for _, cells in grids for cell in cells]
     if args.list_cells:
-        from repro.workload.sweeps import fig13_axis_value, microbenchmark_of
+        from repro.workload.sweeps import fig13_axis_value, fig17_dataset_of, microbenchmark_of
 
         for label, cells in grids:
             for cell in cells:
                 if args.figure == 13:
                     axis = f"axis={fig13_axis_value(label, cell.to_dict()):g}"
+                elif args.figure == 17:
+                    axis = f"dataset={fig17_dataset_of(cell.to_dict())}"
                 else:
                     axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
                 print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
@@ -396,6 +492,8 @@ def _sweep_command(argv: list[str]) -> int:
 
     if args.figure == 13:
         _render_fig13_tables(grids, report.results)
+    elif args.figure == 17:
+        _render_fig17_tables(grids, report.results)
     else:
         _render_microbenchmark_tables(args.figure, report.results)
 
@@ -405,6 +503,7 @@ def _sweep_command(argv: list[str]) -> int:
         f"cells {len(all_cells)}  computed {report.n_computed}  "
         f"failed {report.n_failed}  resumed {report.n_skipped}  "
         f"corrupt-dropped {n_corrupt}  stale-dropped {n_stale}  "
+        f"pool-crashes {report.pool_crashes}  "
         f"jobs {args.jobs}{shard_note}  elapsed {report.elapsed_seconds:.1f}s"
     )
     for result in report.results:
@@ -448,6 +547,39 @@ def _merge_command(argv: list[str]) -> int:
         f"conflicts {len(report.conflict_keys)}  missing-inputs {len(report.missing_inputs)})"
     )
     return 0
+
+
+def _build_compact_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro compact",
+        description="Rewrite result stores in place (atomic replace), dropping "
+        "corrupt, stale and superseded lines and reporting reclaimed bytes.",
+    )
+    parser.add_argument("stores", nargs="+", help="JSON-lines result stores to compact")
+    return parser
+
+
+def _compact_command(argv: list[str]) -> int:
+    from pathlib import Path
+
+    from repro.sim import ResultStore
+
+    args = _build_compact_parser().parse_args(argv)
+    code = 0
+    for store_path in args.stores:
+        path = Path(store_path)
+        if not path.exists():
+            print(f"compact failed: {path} does not exist")
+            code = 2
+            continue
+        report = ResultStore(path).compact()
+        print(
+            f"{path}: kept {report.n_kept} cells  dropped corrupt {report.n_corrupt} "
+            f"stale {report.n_stale} superseded {report.n_superseded}  "
+            f"reclaimed {report.reclaimed_bytes} bytes "
+            f"({report.bytes_before} -> {report.bytes_after})"
+        )
+    return code
 
 
 def _build_bench_parser() -> argparse.ArgumentParser:
@@ -510,6 +642,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep_command(argv[1:])
     if argv and argv[0] == "merge":
         return _merge_command(argv[1:])
+    if argv and argv[0] == "compact":
+        return _compact_command(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_command(argv[1:])
     if argv and argv[0] == "run":

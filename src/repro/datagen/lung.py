@@ -14,6 +14,8 @@ rings.  Face adjacency is derived from shared mesh edges.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.datagen.branching import BranchingConfig, grow_tree
@@ -91,13 +93,19 @@ def _face_adjacency(faces: list[tuple[int, int, int]], face_id_offset: int) -> l
 def make_lung_airways(
     seed: int = 0,
     config: BranchingConfig = LUNG_CONFIG,
+    max_depth: int | None = None,
 ) -> Dataset:
     """Generate a bifurcating airway surface mesh with explicit adjacency.
 
     Each object is a triangle face; its representative segment is its
     longest edge (used only for spatial extent and exit directions --
     the proximity graph comes from the explicit adjacency).
+    ``max_depth`` overrides the config's bifurcation depth -- a scalar
+    knob, so declarative sweep specs can size the mesh without carrying
+    a :class:`BranchingConfig`.
     """
+    if max_depth is not None:
+        config = replace(config, max_depth=int(max_depth))
     rng = np.random.default_rng(seed)
     root = np.zeros(3)
     tree = grow_tree(rng, root, np.array([0.0, 0.0, 1.0]), config)

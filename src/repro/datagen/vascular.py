@@ -9,6 +9,8 @@ beats SCOUT's 90 %), so the generator keeps jitter an explicit knob.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.datagen.branching import BranchingConfig, grow_tree
@@ -35,14 +37,20 @@ def make_arterial_tree(
     config: BranchingConfig = ARTERIAL_CONFIG,
     n_trees: int = 1,
     extent: float = 400.0,
+    max_depth: int | None = None,
 ) -> Dataset:
     """Generate one (or a few) smooth arterial trees.
 
     Each tree is one ground-truth *structure*; the branches within it are
     the candidate guiding structures SCOUT must disambiguate.
+    ``max_depth`` overrides the config's bifurcation depth -- a scalar
+    knob, so declarative sweep specs can size the tree without carrying
+    a :class:`BranchingConfig`.
     """
     if n_trees < 1:
         raise ValueError("n_trees must be >= 1")
+    if max_depth is not None:
+        config = replace(config, max_depth=int(max_depth))
     rng = np.random.default_rng(seed)
 
     p0_parts, p1_parts, radius_parts = [], [], []

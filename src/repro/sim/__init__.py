@@ -12,6 +12,7 @@ from repro.sim.metrics import QueryRecord, SequenceMetrics, AggregateMetrics, ag
 from repro.sim.experiment import ExperimentResult, run_experiment
 from repro.sim.results import (
     CellResult,
+    CompactReport,
     MergeReport,
     ResultStore,
     ShardedResultStore,
@@ -30,6 +31,7 @@ from repro.sim.runner import (
     PrefetcherSpec,
     RunReport,
     WorkloadSpec,
+    cached_dataset,
     run_cell,
     warm_cell_resources,
 )
@@ -39,6 +41,7 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "CellTimeoutError",
+    "CompactReport",
     "DatasetSpec",
     "ExperimentMatrix",
     "ExperimentResult",
@@ -55,6 +58,7 @@ __all__ = [
     "SimulationEngine",
     "WorkloadSpec",
     "aggregate",
+    "cached_dataset",
     "cell_key",
     "merge_stores",
     "run_cell",

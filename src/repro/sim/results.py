@@ -61,6 +61,7 @@ from repro.sim.metrics import AggregateMetrics
 
 __all__ = [
     "CellResult",
+    "CompactReport",
     "MergeReport",
     "ResultStore",
     "ShardedResultStore",
@@ -207,6 +208,36 @@ class CellResult:
         )
 
 
+@dataclass(frozen=True)
+class CompactReport:
+    """What :meth:`ResultStore.compact` kept, dropped and reclaimed.
+
+    ``n_superseded`` counts intact lines shadowed by a later record with
+    the same key (re-runs append; the last record wins on load).  The
+    byte counts compare the store file before and after the atomic
+    rewrite, so ``reclaimed_bytes`` is the disk space the corrupt, stale
+    and superseded lines were occupying -- it can be *negative* for a
+    store holding legacy schema-1 records, which the rewrite upgrades to
+    the (larger) schema-2 envelope layout.
+    """
+
+    path: Path
+    n_kept: int
+    n_corrupt: int
+    n_stale: int
+    n_superseded: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def n_dropped(self) -> int:
+        return self.n_corrupt + self.n_stale + self.n_superseded
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
 _VALID, _STALE, _CORRUPT = "valid", "stale", "corrupt"
 
 
@@ -348,6 +379,9 @@ class ResultStore:
         #: revision (unknown schema version, missing envelope or metric
         #: fields).  Stale cells are recomputed, never rendered.
         self.n_stale = 0
+        #: Non-blank lines seen by the last :meth:`load` (valid or not);
+        #: lets :meth:`compact` count superseded duplicates.
+        self.n_lines = 0
         self._async = bool(async_writes)
         self._writer_closed = False
         # Started lazily on the first append: by then a pooled runner
@@ -384,12 +418,14 @@ class ResultStore:
         self._results = {}
         self.n_corrupt = 0
         self.n_stale = 0
+        self.n_lines = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as fh:
                 for line in fh:
                     line = line.strip()
                     if not line:
                         continue
+                    self.n_lines += 1
                     try:
                         record = json.loads(line)
                     except json.JSONDecodeError:
@@ -456,13 +492,21 @@ class ResultStore:
             _append_line(self.path, line)
         self._results[result.key] = result
 
-    def compact(self) -> int:
+    def compact(self) -> CompactReport:
         """Rewrite the file without corrupt, stale or superseded lines.
 
-        Returns the number of records kept.  Useful after long resumed
+        The rewrite is atomic (tmp file + rename), so a crash mid-compact
+        leaves the original store intact, and idempotent: compacting a
+        compacted store keeps every record and reclaims zero bytes.
+        Returns a :class:`CompactReport` with the kept/dropped line
+        accounting and the bytes reclaimed.  Useful after long resumed
         sweeps have accumulated duplicate or damaged lines.
         """
+        self.flush()
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
         results = self.load(reload=True)
+        n_corrupt, n_stale = self.n_corrupt, self.n_stale
+        n_superseded = self.n_lines - n_corrupt - n_stale - len(results)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with tmp.open("w", encoding="utf-8") as fh:
             for result in results.values():
@@ -470,7 +514,16 @@ class ResultStore:
         tmp.replace(self.path)
         self.n_corrupt = 0
         self.n_stale = 0
-        return len(results)
+        self.n_lines = len(results)
+        return CompactReport(
+            path=self.path,
+            n_kept=len(results),
+            n_corrupt=n_corrupt,
+            n_stale=n_stale,
+            n_superseded=n_superseded,
+            bytes_before=bytes_before,
+            bytes_after=self.path.stat().st_size,
+        )
 
 
 # -- sharding -----------------------------------------------------------------------

@@ -32,18 +32,25 @@ running it, so it fires for serial and pooled cells alike), ``retries``
 grants a bounded number of fresh attempts, and a cell that still fails
 is recorded in the store as a ``status: failed`` / ``status: timeout``
 envelope -- the sweep carries on, and the next resume retries exactly
-the failed cells.
+the failed cells.  A worker that dies *hard* (OOM kill, segfault,
+``os._exit``) breaks the whole process pool; the runner respawns the
+executor, re-enqueues every in-flight cell with one attempt charged
+(the culprit is indistinguishable from its siblings, and the charge is
+what bounds a crash-looping cell), and counts the event in
+:attr:`RunReport.pool_crashes`.
 """
 
 from __future__ import annotations
 
 import cProfile
 import contextlib
+import os
 import signal
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
@@ -89,6 +96,8 @@ __all__ = [
     "PrefetcherSpec",
     "RunReport",
     "WorkloadSpec",
+    "cached_dataset",
+    "prepare_cell",
     "profiled_run_cell",
     "run_cell",
     "warm_cell_resources",
@@ -138,6 +147,27 @@ def _build_fail_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
     raise RuntimeError(str(p.get("message", "injected cell failure")))
 
 
+def _build_exit_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
+    """Fault-injection kind: kill the hosting process with ``os._exit``.
+
+    Simulates a hard worker death (OOM kill, segfault): the process
+    vanishes without unwinding, which breaks a
+    :class:`~concurrent.futures.ProcessPoolExecutor` and exercises the
+    runner's pool-respawn path.  With ``once_flag`` set, only the first
+    attempt dies (the flag file persists across the respawned pool);
+    ``seconds`` delays the death so sibling cells can finish first.
+    Pooled runs only -- in a serial run this kills the sweep itself.
+    """
+    flag = p.get("once_flag")
+    if flag is not None:
+        flag_path = Path(flag)
+        if flag_path.exists():
+            return NoPrefetcher()
+        flag_path.touch()
+    time.sleep(float(p.get("seconds", 0.0)))
+    os._exit(int(p.get("code", 1)))
+
+
 _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     "scout": lambda ds, ix, p: ScoutPrefetcher(ds, ScoutConfig(**p)),
     "scout-opt": lambda ds, ix, p: ScoutOptPrefetcher(ds, ix, ScoutConfig(**p)),
@@ -152,6 +182,7 @@ _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     # Fault-injection kinds for the orchestrator's own test surface.
     "_sleep": _build_sleep_prefetcher,
     "_fail": _build_fail_prefetcher,
+    "_exit": _build_exit_prefetcher,
 }
 
 
@@ -403,6 +434,11 @@ def _error_status(error: BaseException) -> tuple[str, str]:
     return status, f"{type(error).__name__}: {error}"
 
 
+#: Failure-envelope message for cells that exhausted their attempts on
+#: crashed pools (the worker died without reporting its own error).
+_POOL_CRASH_ERROR = "BrokenProcessPool: a worker process died while the cell was in flight"
+
+
 # -- the single-cell primitive ------------------------------------------------------
 
 #: Per-process memo of built datasets/indexes.  Sibling cells in one
@@ -434,19 +470,39 @@ def _sim_config(sim: Mapping[str, Any]) -> SimulationConfig | None:
     return SimulationConfig(**kwargs)
 
 
-def run_cell(spec: CellSpec) -> CellResult:
-    """Execute one experiment cell from its declarative spec.
+def cached_dataset(spec: DatasetSpec):
+    """Build (or reuse) a spec's dataset via the per-process memo.
 
-    This is the unit of work :class:`ParallelRunner` schedules; it
-    rebuilds (memoized) dataset and index, generates the cell's guided
-    sequences, and delegates to :func:`run_experiment`.
+    Shared by cell execution and grid builders that need a *built*
+    dataset to size their workloads (Fig 17 derives each dataset's query
+    volume from its extent and density), so sizing a grid and then
+    running it in-process pays for one build.
     """
-    started = time.perf_counter()
-    dataset_key = canonical_json(spec.dataset.to_dict())
-    dataset = _memoized(_dataset_memo, dataset_key, spec.dataset.build)
-    index_key = dataset_key + "|" + canonical_json(spec.index.to_dict())
-    index = _memoized(_index_memo, index_key, lambda: spec.index.build(dataset))
+    return _memoized(_dataset_memo, canonical_json(spec.to_dict()), spec.build)
 
+
+def _cached_index(dataset_spec: DatasetSpec, index_spec: IndexSpec):
+    """Build (or reuse) an index over a memoized dataset.
+
+    The memo key pairs dataset and index specs, so the same index kind
+    over two datasets never collides.
+    """
+    key = canonical_json(dataset_spec.to_dict()) + "|" + canonical_json(index_spec.to_dict())
+    dataset = cached_dataset(dataset_spec)
+    return _memoized(_index_memo, key, lambda: index_spec.build(dataset))
+
+
+def prepare_cell(spec: CellSpec):
+    """Everything :func:`run_experiment` needs for one cell.
+
+    Returns ``(index, sequences, prefetcher, sim_config)``, built from
+    the spec with memoized dataset/index construction.  This is the
+    single definition of how a spec becomes an executable cell --
+    :func:`run_cell` and the golden-metrics suite both consume it, so a
+    change to cell execution cannot diverge from the regression gate.
+    """
+    dataset = cached_dataset(spec.dataset)
+    index = _cached_index(spec.dataset, spec.index)
     w = spec.workload
     sequences = generate_sequences(
         dataset,
@@ -459,7 +515,19 @@ def run_cell(spec: CellSpec) -> CellResult:
         window_ratio=w.window_ratio,
     )
     prefetcher = spec.prefetcher.build(dataset, index)
-    outcome = run_experiment(index, sequences, prefetcher, _sim_config(spec.sim))
+    return index, sequences, prefetcher, _sim_config(spec.sim)
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one experiment cell from its declarative spec.
+
+    This is the unit of work :class:`ParallelRunner` schedules; it
+    rebuilds (memoized) dataset and index, generates the cell's guided
+    sequences, and delegates to :func:`run_experiment`.
+    """
+    started = time.perf_counter()
+    index, sequences, prefetcher, config = prepare_cell(spec)
+    outcome = run_experiment(index, sequences, prefetcher, config)
     return CellResult(
         key=spec.key(),
         spec=spec.to_dict(),
@@ -475,10 +543,7 @@ def warm_cell_resources(cells: Iterable[CellSpec]) -> None:
     simulation only, not dataset/index construction.
     """
     for spec in cells:
-        dataset_key = canonical_json(spec.dataset.to_dict())
-        dataset = _memoized(_dataset_memo, dataset_key, spec.dataset.build)
-        index_key = dataset_key + "|" + canonical_json(spec.index.to_dict())
-        _memoized(_index_memo, index_key, lambda: spec.index.build(dataset))
+        _cached_index(spec.dataset, spec.index)
 
 
 def profiled_run_cell(spec: CellSpec, profile_dir: str | Path) -> CellResult:
@@ -552,7 +617,8 @@ class RunReport:
     ``failed_keys`` are cells recorded with a failure envelope after
     exhausting their attempts (their :class:`CellResult` entries in
     ``results`` carry ``metrics=None``); ``skipped_keys`` were reused
-    from the store.
+    from the store.  ``pool_crashes`` counts how many times the process
+    pool broke (a worker died hard) and was respawned mid-sweep.
     """
 
     results: list[CellResult]
@@ -560,6 +626,7 @@ class RunReport:
     skipped_keys: list[str]
     elapsed_seconds: float
     failed_keys: list[str] = field(default_factory=list)
+    pool_crashes: int = 0
 
     @property
     def n_computed(self) -> int:
@@ -616,6 +683,7 @@ class ParallelRunner:
         self.profile_dir = None if profile_dir is None else Path(profile_dir)
         self.timeout = None if timeout is None else float(timeout)
         self.retries = int(retries)
+        self._pool_crashes = 0
 
     def run(
         self,
@@ -632,6 +700,7 @@ class ParallelRunner:
         started = time.perf_counter()
         specs = list(cells.cells() if isinstance(cells, ExperimentMatrix) else cells)
         keys = [spec.key() for spec in specs]
+        self._pool_crashes = 0
 
         done: dict[str, CellResult] = {}
         skipped: list[str] = []
@@ -670,6 +739,7 @@ class ParallelRunner:
             skipped_keys=skipped,
             elapsed_seconds=time.perf_counter() - started,
             failed_keys=failed,
+            pool_crashes=self._pool_crashes,
         )
 
     @property
@@ -677,7 +747,10 @@ class ParallelRunner:
         return self.retries + 1
 
     def _compute(self, specs: list[CellSpec]) -> Iterator[CellResult]:
-        if self.jobs == 1 or len(specs) == 1:
+        # jobs>1 always pools, even for a single cell: the user asked
+        # for process isolation, and a hard-crashing cell run in-process
+        # would take the whole sweep down instead of a respawnable worker.
+        if self.jobs == 1:
             yield from self._compute_serial(specs)
         else:
             yield from self._compute_pooled(specs)
@@ -700,44 +773,132 @@ class ParallelRunner:
 
     def _compute_pooled(self, specs: list[CellSpec]) -> Iterator[CellResult]:
         profile_dir = None if self.profile_dir is None else str(self.profile_dir)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+        # Work queue of (spec, attempt number, execution seconds already
+        # spent in failed attempts -- worker-measured, so queue wait in
+        # a busy pool never inflates a failure envelope).  Each pass of
+        # the outer loop runs one batch through one executor; retries
+        # and cells orphaned by a pool crash feed the next batch.
+        backlog: list[tuple[CellSpec, int, float]] = [(spec, 1, 0.0) for spec in specs]
+        while backlog:
+            batch, backlog = backlog, []
+            work = deque(batch)
+            max_workers = min(self.jobs, len(batch))
+            # Submissions are windowed at workers+1: enough to keep every
+            # worker fed (the +1 buffers the gap between a worker going
+            # idle and the next top-up), small enough that a pool crash
+            # only charges an attempt to cells plausibly executing --
+            # cells still waiting in `work` never ran, so they re-enter
+            # the next batch uncharged.
+            window = max_workers + 1
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            broken = False
+            pending: dict[Future, tuple[CellSpec, int, float]] = {}
 
-            def submit(spec: CellSpec) -> Future:
-                return pool.submit(
-                    _run_cell_record, spec.to_dict(), profile_dir, self.timeout
-                )
-
-            # Future -> (spec, attempt number, execution seconds already
-            # spent in failed attempts -- worker-measured, so queue wait
-            # in a busy pool never inflates a failure envelope).
-            pending: dict[Future, tuple[CellSpec, int, float]] = {
-                submit(spec): (spec, 1, 0.0) for spec in specs
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec, attempt, elapsed = pending.pop(future)
+            def top_up() -> None:
+                """Fill the submission window (the only submit call site)."""
+                nonlocal broken
+                while not broken and work and len(pending) < window:
+                    entry = work.popleft()
                     try:
-                        record = future.result()
-                    except Exception as error:  # noqa: BLE001 - failure record
-                        # Out-of-band failure (e.g. a result that cannot
-                        # unpickle); no worker timing available.
-                        status, message = _error_status(error)
-                        failure = (status, message, elapsed)
-                    else:
-                        worker_error = record.get(_ERROR_KEY)
-                        if worker_error is None:
-                            yield replace(
-                                CellResult.from_record(record), attempts=attempt
-                            )
-                            continue
-                        failure = (
-                            worker_error["status"],
-                            worker_error["error"],
-                            elapsed + worker_error["elapsed_seconds"],
+                        future = pool.submit(
+                            _run_cell_record, entry[0].to_dict(), profile_dir, self.timeout
                         )
-                    status, message, elapsed = failure
-                    if attempt < self._attempts:
-                        pending[submit(spec)] = (spec, attempt + 1, elapsed)
+                    except BrokenProcessPool:
+                        broken = True
+                        work.appendleft(entry)
+                        return
+                    pending[future] = entry
+
+            try:
+                top_up()
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        spec, attempt, elapsed = pending.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            # A worker died hard and took the pool with
+                            # it.  Which windowed cell killed it is
+                            # unknowable, so each one is charged an
+                            # attempt -- the charge is what bounds a
+                            # crash-looping cell -- and re-enqueued for
+                            # the respawned pool.
+                            broken = True
+                            if attempt < self._attempts:
+                                backlog.append((spec, attempt + 1, elapsed))
+                            else:
+                                yield _failure_result(
+                                    spec, STATUS_FAILED, _POOL_CRASH_ERROR, attempt, elapsed
+                                )
+                            continue
+                        except Exception as error:  # noqa: BLE001 - failure record
+                            # Out-of-band failure (e.g. a result that cannot
+                            # unpickle); no worker timing available.
+                            status, message = _error_status(error)
+                            failure = (status, message, elapsed)
+                        else:
+                            worker_error = record.get(_ERROR_KEY)
+                            if worker_error is None:
+                                yield replace(
+                                    CellResult.from_record(record), attempts=attempt
+                                )
+                                continue
+                            failure = (
+                                worker_error["status"],
+                                worker_error["error"],
+                                elapsed + worker_error["elapsed_seconds"],
+                            )
+                        status, message, elapsed = failure
+                        if attempt >= self._attempts:
+                            yield _failure_result(spec, status, message, attempt, elapsed)
+                        else:
+                            # Retry at the front of the queue: it runs as
+                            # soon as a window slot frees (reusing the
+                            # workers' warm dataset/index memos), or in
+                            # the next batch if the pool broke.
+                            work.appendleft((spec, attempt + 1, elapsed))
+                    if broken:
+                        self._pool_crashes += 1
+                        # Drain what is left.  A future may have settled
+                        # between the crash and this drain: completed
+                        # results are yielded as usual, and a worker's
+                        # own failure record keeps its true status and
+                        # timing instead of being blamed on the crash.
+                        for future, (spec, attempt, elapsed) in pending.items():
+                            candidate = None
+                            if future.done():
+                                try:
+                                    candidate = future.result()
+                                except BaseException:  # noqa: BLE001 - broken future
+                                    candidate = None
+                            if isinstance(candidate, dict) and _ERROR_KEY not in candidate:
+                                yield replace(
+                                    CellResult.from_record(candidate), attempts=attempt
+                                )
+                                continue
+                            if isinstance(candidate, dict):
+                                worker_error = candidate[_ERROR_KEY]
+                                status = worker_error["status"]
+                                message = worker_error["error"]
+                                elapsed += worker_error["elapsed_seconds"]
+                            else:
+                                status, message = STATUS_FAILED, _POOL_CRASH_ERROR
+                            if attempt < self._attempts:
+                                backlog.append((spec, attempt + 1, elapsed))
+                            else:
+                                yield _failure_result(spec, status, message, attempt, elapsed)
+                        pending.clear()
                     else:
-                        yield _failure_result(spec, status, message, attempt, elapsed)
+                        top_up()
+                # Cells never submitted to the broken pool carry over
+                # uncharged (work is empty after a healthy batch).
+                backlog.extend(work)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if backlog and self.store is not None:
+                # The respawned pool forks from a parent whose async
+                # writer thread is live by now; draining its queue parks
+                # the thread in an idle wait (mutex released) so the
+                # fork cannot copy a held lock into the new workers.
+                self.store.flush()

@@ -1,6 +1,6 @@
-"""Parameter sweeps for the paper's evaluation grids (Figs 10-13).
+"""Parameter sweeps for the paper's evaluation grids (Figs 10-13, 17).
 
-Two families of declarative grids live here:
+Three families of declarative grids live here:
 
 * the **microbenchmark grids** -- :func:`fig10_matrix` (the Figure-10
   workload registry under one prefetcher), :func:`fig11_matrix` (the
@@ -14,11 +14,18 @@ Two families of declarative grids live here:
   sweeps absolute values tied to its 450M-object tissue; we keep the
   paper's values where units transfer (volume, window ratio, sequence
   length, grid resolution, gap distance) and scale the density axis to
-  synthetic-tissue sizes (Fig 13b varies objects at fixed volume).
+  synthetic-tissue sizes (Fig 13b varies objects at fixed volume);
+* the **applicability grid** (paper §8.4, Fig 17):
+  :func:`fig17_matrix` crosses the cross-domain datasets (lung airway
+  mesh, arterial tree, road network) with the standard prefetcher set,
+  one panel per query-size regime (small / large, sized as fractions of
+  each dataset's volume).
 
 All builders return pure-data :class:`~repro.sim.ExperimentMatrix`
-values; run them with :class:`~repro.sim.ParallelRunner` (cells are
-keyed by content hash, so repeated runs resume from the store).
+values (Fig 17 returns the per-dataset matrices' cells as one list,
+because each dataset carries its own query volume); run them with
+:class:`~repro.sim.ParallelRunner` (cells are keyed by content hash, so
+repeated runs resume from the store).
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ __all__ = [
     "FIG11_PREFETCHERS",
     "FIG12_PREFETCHERS",
     "FIG13_PANELS",
+    "FIG17_DATASET_PARAMS",
+    "FIG17_PANELS",
     "FIGURE_MATRICES",
     "SENSITIVITY_DEFAULTS",
     "SweepDefaults",
@@ -42,6 +51,9 @@ __all__ = [
     "fig13_axes",
     "fig13_axis_value",
     "fig13_matrix",
+    "fig17_dataset_of",
+    "fig17_matrix",
+    "fig17_query_volume",
     "microbenchmark_of",
     "scale_factor",
 ]
@@ -358,8 +370,122 @@ def fig12_matrix(
     )
 
 
+# -- the Fig-17 applicability grid --------------------------------------------------
+
+#: Panel letter -> (query-size regime, human title) of Figure 17.
+FIG17_PANELS: dict[str, tuple[str, str]] = {
+    "a": ("small", "applicability, small queries"),
+    "b": ("large", "applicability, large queries"),
+}
+
+#: The §8.4 cross-domain datasets (kind -> generator params), ordered as
+#: in the figure.  Laptop-scale stand-ins for the paper's lung airway
+#: mesh (7.1M triangles), pig-heart arterial tree (2.1M cylinders) and
+#: North-America road network (7.2M 2D segments).
+FIG17_DATASET_PARAMS: dict[str, dict[str, Any]] = {
+    "lung": {"seed": 17, "max_depth": 4},
+    "arterial": {"seed": 17},
+    "roads": {"seed": 17, "grid_size": 12},
+}
+
+#: §8.4 sizes queries as a fraction of the dataset volume; small queries
+#: are 5e-7 of it.  Synthetic stand-ins are orders of magnitude smaller
+#: than the paper's datasets, so the small volume is floored at one that
+#: returns a handful of objects, and the large regime is a fixed factor
+#: above the small one so the two regimes stay distinct even when the
+#: floor binds (mirrors ``benchmarks/test_fig17_applicability.py``).
+FIG17_SMALL_FRACTION = 5e-7
+FIG17_LARGE_OVER_SMALL = 4.0
+
+
+def fig17_query_volume(dataset: Any, regime: str) -> float:
+    """The Fig-17 query volume (area for 2D data) of one built dataset."""
+    if regime not in ("small", "large"):
+        raise ValueError(f"regime must be 'small' or 'large', got {regime!r}")
+    extent = dataset.bounds.extent
+    if dataset.dims == 2:
+        measure = float(extent[0] * extent[1])
+    else:
+        measure = float(extent[0] * extent[1] * extent[2])
+    floor = 60.0 / max(dataset.density(), 1e-12)
+    small = max(measure * FIG17_SMALL_FRACTION, floor)
+    return small if regime == "small" else small * FIG17_LARGE_OVER_SMALL
+
+
+def fig17_matrix(
+    panel: str,
+    *,
+    datasets: Mapping[str, Mapping[str, Any]] | None = None,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = FIG11_PREFETCHERS,
+    n_sequences: int | None = None,
+    n_queries: int | None = None,
+    workload_seed: int = 17,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+) -> list:
+    """One Fig-17 panel: cross-domain datasets x standard prefetchers.
+
+    Panel ``a`` uses the small query regime, ``b`` the large one.  Each
+    dataset's query volume is derived from its own built extent and
+    density (:func:`fig17_query_volume`), so the result is a *list of
+    cells* -- the union of one single-workload matrix per dataset --
+    rather than one cross-product matrix.  ``datasets`` overrides the
+    generator parameters (e.g. to shrink the grid for smoke runs);
+    building the datasets to size the queries goes through the runner's
+    per-process memo, so a panel pair reuses one build per dataset.
+    """
+    # Imported here: repro.sim.runner imports repro.workload.sequence,
+    # so a module-level import would be circular through repro.sim.
+    from repro.sim.runner import (
+        DatasetSpec,
+        ExperimentMatrix,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+        cached_dataset,
+    )
+
+    if panel not in FIG17_PANELS:
+        known = ", ".join(sorted(FIG17_PANELS))
+        raise ValueError(f"unknown Fig-17 panel {panel!r}; known: {known}")
+    regime, _ = FIG17_PANELS[panel]
+    dataset_params = FIG17_DATASET_PARAMS if datasets is None else datasets
+    if not dataset_params:
+        raise ValueError("fig17_matrix needs at least one dataset")
+    n_sequences = defaults.n_sequences if n_sequences is None else int(n_sequences)
+    n_queries = defaults.n_queries if n_queries is None else int(n_queries)
+
+    cells: list = []
+    for kind, params in dataset_params.items():
+        dataset_spec = DatasetSpec(kind, dict(params))
+        volume = fig17_query_volume(cached_dataset(dataset_spec), regime)
+        matrix = ExperimentMatrix(
+            datasets=(dataset_spec,),
+            indexes=(IndexSpec("flat", {"fanout": fanout}),),
+            workloads=(
+                WorkloadSpec(
+                    n_sequences=n_sequences,
+                    n_queries=n_queries,
+                    volume=volume,
+                    window_ratio=defaults.window_ratio,
+                ),
+            ),
+            prefetchers=tuple(
+                PrefetcherSpec(kind_, dict(params_)) for kind_, params_ in prefetchers
+            ),
+            seeds=(workload_seed,),
+        )
+        cells.extend(matrix.cells())
+    return cells
+
+
+def fig17_dataset_of(spec: Mapping[str, Any]) -> str:
+    """The dataset column a Fig-17 cell-spec dict belongs to."""
+    return spec["dataset"]["kind"]
+
+
 #: Figure number -> (matrix builder, default benches) for the
-#: microbenchmark-grid figures; Figure 13 keeps its panel-based API.
+#: microbenchmark-grid figures; Figures 13 and 17 keep panel-based APIs.
 FIGURE_MATRICES: dict[int, Any] = {
     10: fig10_matrix,
     11: fig11_matrix,

@@ -274,6 +274,10 @@ class TestSweepCli:
             ["sweep", "--figure", "10", "--panels", "a"],
             ["sweep", "--figure", "11", "--points", "2"],
             ["sweep", "--figure", "13", "--benches", "adhoc_stat"],
+            ["sweep", "--figure", "17", "--benches", "adhoc_stat"],
+            ["sweep", "--figure", "17", "--points", "2"],
+            ["sweep", "--figure", "17", "--neurons", "6"],
+            ["sweep", "--figure", "13", "--datasets", "roads"],
         ]
         for args in mixed:
             with pytest.raises(SystemExit) as excinfo:
@@ -303,6 +307,62 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert "bench=vis_gaps_high" in out and "scout-opt" in out
         assert "10 cells" in out  # 2 gap benches x 5 prefetchers
+
+    def test_sweep_figure_17_computes_and_renders_dataset_table(self, capsys, tmp_path):
+        args = [
+            "sweep", "--figure", "17", "--panels", "a", "--datasets", "roads",
+            "--sequences", "2", "--out", str(tmp_path / "fig17.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Fig 17a" in out and "roads" in out and "scout" in out
+        assert "paper:" in out  # fig17a carries the paper's shape note
+        assert "computed 4" in out and "failed 0" in out
+
+        assert main(args) == 0
+        assert "resumed 4" in capsys.readouterr().out
+
+    def test_sweep_figure_17_list_cells_names_datasets(self, capsys, tmp_path):
+        args = [
+            "sweep", "--figure", "17", "--list-cells", "--sequences", "2",
+            "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "dataset=lung" in out and "dataset=arterial" in out and "dataset=roads" in out
+        assert "24 cells" in out  # 2 panels x 3 datasets x 4 prefetchers
+
+    def test_sweep_figure_17_rejects_unknown_panel_and_dataset(self, capsys, tmp_path):
+        assert main(["sweep", "--figure", "17", "--panels", "q",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "unknown panel" in capsys.readouterr().out
+        assert main(["sweep", "--figure", "17", "--datasets", "ocean",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "unknown dataset" in capsys.readouterr().out
+
+    def test_compact_rewrites_store_and_reports_reclaimed_bytes(self, capsys, tmp_path):
+        store_path = tmp_path / "sweep.jsonl"
+        assert main(self.SWEEP_ARGS + ["--out", str(store_path)]) == 0
+        capsys.readouterr()
+        lines = store_path.read_text().splitlines()
+        with store_path.open("a") as fh:
+            fh.write("{ not json\n")  # corrupt
+            fh.write(lines[0] + "\n")  # superseded duplicate
+        before = store_path.stat().st_size
+
+        assert main(["compact", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2 cells" in out and "corrupt 1" in out and "superseded 1" in out
+        assert "reclaimed" in out
+        assert store_path.stat().st_size < before
+
+        # Every ok record survived: the sweep fully resumes from it.
+        assert main(self.SWEEP_ARGS + ["--out", str(store_path)]) == 0
+        assert "resumed 2" in capsys.readouterr().out
+
+    def test_compact_missing_store_fails(self, capsys, tmp_path):
+        assert main(["compact", str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().out
 
     def test_sweep_neurons_rescales_density_panel(self, capsys, tmp_path):
         # Panel b's axis is the neuron count; --neurons must shrink it

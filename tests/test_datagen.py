@@ -1,5 +1,7 @@
 """Data generators: morphology, ground truth, navigation graph."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.datagen import (
     make_road_network,
 )
 from repro.datagen.dataset import Polyline
+from repro.index import FlatIndex
 
 
 class TestBranchingConfig:
@@ -156,6 +159,67 @@ class TestRoads:
     def test_rejects_bad_drop_probability(self):
         with pytest.raises(ValueError):
             make_road_network(drop_probability=1.0)
+
+
+#: The Fig-17 cross-domain generators at unit-test size, by name.
+#: (The neuron tissue already has its own determinism tests above.)
+CROSS_DOMAIN_GENERATORS = {
+    "arterial": lambda seed: make_arterial_tree(seed=seed, max_depth=3),
+    "lung": lambda seed: make_lung_airways(seed=seed, max_depth=3),
+    "roads": lambda seed: make_road_network(grid_size=6, seed=seed),
+}
+
+
+class TestCrossDomainGenerators:
+    """Direct contracts of the lung/arterial/roads generators.
+
+    Previously only exercised transitively (through benchmarks and the
+    Fig-17 grid); the sweep engine keys cells by spec content hash, so
+    per-seed determinism is load-bearing for resume correctness.
+    """
+
+    @pytest.mark.parametrize("name", sorted(CROSS_DOMAIN_GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        build = CROSS_DOMAIN_GENERATORS[name]
+        a, b = build(3), build(3)
+        assert np.array_equal(a.p0, b.p0) and np.array_equal(a.p1, b.p1)
+        assert np.array_equal(a.structure_id, b.structure_id)
+        assert np.array_equal(a.branch_id, b.branch_id)
+        if a.explicit_edges is not None:
+            assert np.array_equal(a.explicit_edges, b.explicit_edges)
+
+    @pytest.mark.parametrize("name", sorted(CROSS_DOMAIN_GENERATORS))
+    def test_different_seeds_differ(self, name):
+        build = CROSS_DOMAIN_GENERATORS[name]
+        assert not np.array_equal(build(3).p0, build(4).p0)
+
+    @pytest.mark.parametrize("name", sorted(CROSS_DOMAIN_GENERATORS))
+    def test_extent_non_degenerate(self, name):
+        dataset = CROSS_DOMAIN_GENERATORS[name](3)
+        extent = dataset.bounds.extent
+        active = extent[: dataset.dims]
+        assert np.all(active > 1.0), active  # spans real space on every active axis
+        assert np.all(np.isfinite(extent))
+        assert dataset.density() > 0
+
+    @pytest.mark.parametrize("name", sorted(CROSS_DOMAIN_GENERATORS))
+    def test_page_count_sanity(self, name):
+        dataset = CROSS_DOMAIN_GENERATORS[name](3)
+        index = FlatIndex(dataset, fanout=16)
+        # Pages hold at most `fanout` objects, and every object is paged.
+        assert index.n_pages >= math.ceil(dataset.n_objects / 16)
+        assert index.n_pages <= dataset.n_objects
+        assert index.n_pages > 1  # big enough to exercise prefetching
+
+    def test_max_depth_caps_tree_size(self):
+        assert (
+            make_arterial_tree(seed=1, max_depth=2).n_objects
+            < make_arterial_tree(seed=1, max_depth=4).n_objects
+        )
+        assert (
+            make_lung_airways(seed=1, max_depth=2).n_objects
+            < make_lung_airways(seed=1, max_depth=4).n_objects
+        )
 
 
 class TestDatasetContainer:

@@ -6,7 +6,10 @@ failed|timeout`` envelope instead of aborting the sweep, and (3) is
 retried -- not skipped -- on the next resume, so a store converges on
 all-ok as causes are fixed.  Legacy schema-1 records still load, and
 schema-envelope mismatches are classified stale (recomputed), never
-rendered.
+rendered.  A worker that dies *hard* (``os._exit``, simulating an OOM
+kill or segfault) breaks the process pool; the runner must respawn it,
+re-enqueue the in-flight cells with one attempt charged, and finish the
+sweep.
 """
 
 from __future__ import annotations
@@ -146,6 +149,54 @@ class TestTimeouts:
             ParallelRunner(retries=-1)
 
 
+class TestPoolCrashes:
+    """A worker killed mid-sweep must not abort the run."""
+
+    def test_killed_worker_respawns_pool_and_sweep_completes(self, tmp_path):
+        # The killer dies once (the flag file survives the respawned
+        # pool), with a delay so the sibling finishes its first attempt
+        # before the crash; every cell must still end up ok.
+        killer = cell(
+            PrefetcherSpec("_exit", {"once_flag": str(tmp_path / "flag"), "seconds": 0.5})
+        )
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=2, store=store, retries=2).run([killer, OK_CELL])
+
+        assert report.pool_crashes == 1
+        assert all(result.ok for result in report.results)
+        assert report.n_failed == 0
+        # The whole outcome is durable: a fresh reader sees only ok cells.
+        reloaded = ResultStore(tmp_path / "store.jsonl").load()
+        assert {key for key in reloaded} == {killer.key(), OK_CELL.key()}
+        assert all(result.ok for result in reloaded.values())
+
+    def test_crash_looping_cell_exhausts_attempts(self, tmp_path):
+        # No flag: the cell kills its worker on every attempt.  Attempt
+        # accounting must bound the crash loop and record an envelope.
+        # (Run alone so no sibling races the crash; sibling survival is
+        # covered deterministically by the once_flag test above.)
+        killer = cell(PrefetcherSpec("_exit", {}))
+        store = ResultStore(tmp_path / "store.jsonl")
+        report = ParallelRunner(jobs=2, store=store, retries=1).run([killer])
+
+        assert report.pool_crashes == 2  # one breakage per attempt
+        dead = report.results[0]
+        assert dead.status == "failed" and dead.attempts == 2
+        assert "BrokenProcessPool" in dead.error
+        # The envelope is durable, so the next resume retries the cell.
+        reloaded = ResultStore(tmp_path / "store.jsonl").load()[killer.key()]
+        assert reloaded.status == "failed"
+
+    def test_single_cell_with_jobs_gt_1_stays_isolated(self, tmp_path):
+        # A one-cell batch (e.g. a resume retrying the only failure)
+        # must still run in a worker process: run serially, a hard crash
+        # would kill the orchestrator itself.
+        killer = cell(PrefetcherSpec("_exit", {}))
+        report = ParallelRunner(jobs=2, retries=0).run([killer])
+        assert report.results[0].status == "failed"
+        assert report.pool_crashes == 1
+
+
 class TestSchemaCompatibility:
     def _stored(self, tmp_path):
         path = tmp_path / "store.jsonl"
@@ -204,6 +255,21 @@ class TestSchemaCompatibility:
         assert {r.key for r in store.ok_results()} == {OK_CELL.key()}
         assert len(store.results()) == 2
 
+    def test_compact_upgrades_schema1_records_in_place(self, tmp_path):
+        # A legacy record is kept, rewritten as a (larger) schema-2
+        # envelope -- so reclaimed_bytes is honestly negative here.
+        path = self._stored(tmp_path)
+        record = json.loads(path.read_text())
+        for legacy_unknown in ("status", "attempts", "error"):
+            record.pop(legacy_unknown)
+        record["schema"] = 1
+        path.write_text(json.dumps(record) + "\n")
+
+        report = ResultStore(path).compact()
+        assert report.n_kept == 1 and report.reclaimed_bytes < 0
+        upgraded = json.loads(path.read_text())
+        assert upgraded["schema"] == 2 and upgraded["status"] == "ok"
+
     def test_compact_clears_stale_counts(self, tmp_path):
         path = self._stored(tmp_path)
         record = json.loads(path.read_text())
@@ -211,7 +277,9 @@ class TestSchemaCompatibility:
         with path.open("a") as fh:
             fh.write(json.dumps(record) + "\n")
         store = ResultStore(path)
-        assert store.compact() == 1
+        report = store.compact()
+        assert report.n_kept == 1 and report.n_stale == 1
+        assert report.reclaimed_bytes > 0
         fresh = ResultStore(path)
         fresh.load()
         assert fresh.n_stale == 0 and fresh.n_corrupt == 0

@@ -21,9 +21,13 @@ from repro.workload import MICROBENCHMARKS, microbenchmark_names
 from repro.workload.sweeps import (
     FIG11_PREFETCHERS,
     FIG12_PREFETCHERS,
+    FIG17_DATASET_PARAMS,
     fig10_matrix,
     fig11_matrix,
     fig12_matrix,
+    fig17_dataset_of,
+    fig17_matrix,
+    fig17_query_volume,
     microbenchmark_of,
 )
 
@@ -93,6 +97,70 @@ class TestGridShapes:
         cell = tiny(fig10_matrix).cells()[0].to_dict()
         cell["workload"]["volume"] = 123_456.0
         assert microbenchmark_of(cell) is None
+
+
+#: Shrunken Fig-17 dataset parameters for fast grid tests.
+TINY_FIG17 = {
+    "lung": {"seed": 17, "max_depth": 2},
+    "arterial": {"seed": 17, "max_depth": 2},
+    "roads": {"seed": 17, "grid_size": 4},
+}
+
+
+class TestFig17Grid:
+    def test_covers_datasets_x_standard_prefetchers(self):
+        cells = fig17_matrix("a", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        assert len(cells) == len(TINY_FIG17) * len(FIG11_PREFETCHERS)
+        assert {cell.dataset.kind for cell in cells} == set(TINY_FIG17)
+        assert {cell.prefetcher.kind for cell in cells} == {
+            kind for kind, _ in FIG11_PREFETCHERS
+        }
+        assert {fig17_dataset_of(cell.to_dict()) for cell in cells} == set(TINY_FIG17)
+
+    def test_default_grid_names_the_paper_datasets(self):
+        assert list(FIG17_DATASET_PARAMS) == ["lung", "arterial", "roads"]
+
+    def test_large_regime_is_fixed_factor_above_small(self):
+        small = fig17_matrix("a", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        large = fig17_matrix("b", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        small_volumes = {c.dataset.kind: c.workload.volume for c in small}
+        large_volumes = {c.dataset.kind: c.workload.volume for c in large}
+        for kind in TINY_FIG17:
+            assert large_volumes[kind] == pytest.approx(4.0 * small_volumes[kind])
+
+    def test_volumes_differ_per_dataset(self):
+        # Each dataset carries its own query volume (sized from its own
+        # extent and density), which is why Fig 17 is a list of cells,
+        # not one cross-product matrix.
+        cells = fig17_matrix("a", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        volumes = {c.dataset.kind: c.workload.volume for c in cells}
+        assert len(set(volumes.values())) == len(volumes)
+
+    def test_query_volume_validates_regime(self, tissue):
+        with pytest.raises(ValueError, match="regime"):
+            fig17_query_volume(tissue, "medium")
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError, match="panel"):
+            fig17_matrix("z", datasets=TINY_FIG17)
+        with pytest.raises(ValueError, match="at least one dataset"):
+            fig17_matrix("a", datasets={})
+
+    def test_matrix_is_deterministic(self):
+        once = fig17_matrix("a", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        again = fig17_matrix("a", datasets=TINY_FIG17, n_sequences=SEQUENCES)
+        assert [c.key() for c in once] == [c.key() for c in again]
+
+    def test_roads_cell_runs_end_to_end(self):
+        cells = fig17_matrix(
+            "a",
+            datasets={"roads": TINY_FIG17["roads"]},
+            prefetchers=(("scout", {}),),
+            n_sequences=SEQUENCES,
+        )
+        (cell,) = cells
+        result = run_cell(cell)
+        assert result.ok and 0.0 <= result.metrics.cache_hit_rate <= 1.0
 
 
 class TestDeterminismVsDirectHarness:

@@ -1,0 +1,126 @@
+"""Golden-metrics regression suite: one pinned cell per evaluation figure.
+
+Each fixture under ``tests/golden/`` freezes the *exact* metrics (hit
+rate, pages fetched, unused-prefetch rate, ...) of one small-seed cell
+from each figure grid (10-13 and 17).  The suite recomputes the cell
+from its stored spec and compares **exactly** -- simulation cells are
+deterministic functions of their spec, so any drift in the engine,
+prefetchers, generators or workload synthesis shows up as a diff here
+before it silently shifts a paper table.
+
+Intentional changes regenerate the fixtures::
+
+    pytest tests/test_golden_metrics.py --update-golden
+
+then commit the diff (it documents the behavior change for review).
+
+The exact float comparison makes fixtures sensitive to the numpy/BLAS
+build: regenerate them on the CI platform (linux x86-64) -- a fixture
+produced on a different architecture can differ in the last ulp of a
+reduction and fail CI with no code change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.sim import CellSpec, run_experiment
+from repro.sim.runner import prepare_cell
+from repro.workload.sweeps import (
+    fig10_matrix,
+    fig11_matrix,
+    fig12_matrix,
+    fig13_matrix,
+    fig17_matrix,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TINY = dict(n_neurons=6, n_sequences=2, dataset_seed=7)
+
+
+def golden_cells() -> dict[str, CellSpec]:
+    """One small, fast representative cell per figure grid."""
+    return {
+        "fig10": fig10_matrix(benches=["adhoc_stat"], **TINY).cells()[0],
+        "fig11": fig11_matrix(
+            benches=["model_building"], prefetchers=(("ewma", {"lam": 0.3}),), **TINY
+        ).cells()[0],
+        "fig12": fig12_matrix(
+            benches=["vis_gaps_low"], prefetchers=(("scout-opt", {}),), **TINY
+        ).cells()[0],
+        "fig13": fig13_matrix("d", n_neurons=6, n_sequences=2, dataset_seed=7).cells()[0],
+        "fig17": fig17_matrix(
+            "a",
+            datasets={"roads": {"seed": 17, "grid_size": 6}},
+            prefetchers=(("scout", {}),),
+            n_sequences=2,
+        )[0],
+    }
+
+
+def compute_metrics(spec: CellSpec) -> dict:
+    """The golden metric set of one cell, from a fresh end-to-end run.
+
+    Executes the cell through :func:`repro.sim.runner.prepare_cell` --
+    the exact pipeline the sweep engine runs -- but keeps the per-query
+    records, which carry the page-level accounting the aggregate
+    metrics drop.
+    """
+    index, sequences, prefetcher, config = prepare_cell(spec)
+    outcome = run_experiment(index, sequences, prefetcher, config)
+
+    records = [record for sequence in outcome.sequences for record in sequence.records]
+    eligible = [record for sequence in outcome.sequences for record in sequence.eligible]
+    pages_prefetched = sum(record.prefetch_pages for record in records)
+    pages_hit = sum(record.pages_hit for record in eligible)
+    pages_missed = sum(record.pages_needed - record.pages_hit for record in eligible)
+    gap_io_pages = sum(record.gap_io_pages for record in records)
+    metrics = outcome.metrics
+    return {
+        "cache_hit_rate": metrics.cache_hit_rate,
+        "hit_rate_std": metrics.hit_rate_std,
+        "speedup": None if math.isinf(metrics.speedup) else metrics.speedup,
+        "pages_prefetched": int(pages_prefetched),
+        "pages_fetched": int(pages_prefetched + pages_missed + gap_io_pages),
+        "unused_prefetch_rate": (
+            0.0 if pages_prefetched == 0 else max(0.0, 1.0 - pages_hit / pages_prefetched)
+        ),
+        "per_sequence_hit_rates": [float(r) for r in metrics.per_sequence_hit_rates],
+    }
+
+
+@pytest.mark.parametrize("figure", sorted(golden_cells()))
+def test_figure_cell_matches_golden_metrics(figure, request):
+    cell = golden_cells()[figure]
+    path = GOLDEN_DIR / f"{figure}.json"
+    computed = compute_metrics(cell)
+
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"spec": cell.to_dict(), "metrics": computed}, indent=2, sort_keys=True)
+            + "\n"
+        )
+        return
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"'pytest tests/test_golden_metrics.py --update-golden'"
+    )
+    stored = json.loads(path.read_text())
+    assert stored["spec"] == cell.to_dict(), (
+        f"the {figure} golden cell's spec changed; if intentional, regenerate "
+        f"with --update-golden and commit the diff"
+    )
+    # Exact comparison, not approx: cells are deterministic functions of
+    # their specs (the parallel-runner determinism guarantee), so any
+    # difference at all is drift worth reviewing.
+    assert computed == stored["metrics"], (
+        f"{figure} metrics drifted from the golden fixture; if intentional, "
+        f"regenerate with --update-golden and commit the diff"
+    )

@@ -223,8 +223,9 @@ class TestCorruptStore:
         with path.open("a") as fh:
             fh.write("garbage line\n")
         store = ResultStore(path)
-        kept = store.compact()
-        assert kept == len(cells)
+        report = store.compact()
+        assert report.n_kept == len(cells)
+        assert report.n_corrupt == 1 and report.reclaimed_bytes > 0
         fresh = ResultStore(path)
         fresh.load()
         assert fresh.n_corrupt == 0 and len(fresh) == len(cells)
