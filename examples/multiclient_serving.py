@@ -1,0 +1,68 @@
+"""Eight concurrent clients vs a shrinking shared prefetch cache.
+
+The paper serves one interactive client from a private cache; a
+deployment multiplexes many users over the same cache and disk.  This
+script runs 8 staggered navigation sessions on synthetic neuron tissue
+through the serving layer (DESIGN.md §6) and shows how SCOUT's and
+EWMA's *aggregate* hit rates hold while the shared cache has headroom,
+then collapse together once 8 working sets no longer fit -- plus the
+contention counters that explain why (cross-client hits, misses caused
+by eviction pressure).
+
+Run:  python examples/multiclient_serving.py
+
+The full client-scaling grid (1..16 clients x prefetchers x cache
+sizes, resumable and parallel) is the sweep engine's job:
+
+    scout-repro sweep --figure clients --jobs 4 --out results/clients.jsonl
+"""
+
+from repro.baselines import EWMAPrefetcher
+from repro.core import ScoutPrefetcher
+from repro.datagen import make_neuron_tissue
+from repro.index import FlatIndex
+from repro.sim import ServingSimulator, SimulationConfig
+from repro.workload import multiclient_sessions
+
+N_CLIENTS = 8
+
+
+def main() -> None:
+    tissue = make_neuron_tissue(n_neurons=40, seed=7)
+    index = FlatIndex(tissue, fanout=16)
+    auto_pages = SimulationConfig().cache_capacity_for(index)
+    print(f"Neuron tissue: {tissue.n_objects:,} objects across {index.n_pages:,} pages")
+    print(f"{N_CLIENTS} clients, staggered arrivals, one shared cache + disk\n")
+
+    clients = multiclient_sessions(
+        tissue, n_clients=N_CLIENTS, seed=21, n_queries=25, volume=80_000.0, stagger=1
+    )
+    prefetcher_kinds = {
+        "ewma-0.3": lambda: EWMAPrefetcher(lam=0.3),
+        "scout": lambda: ScoutPrefetcher(tissue),
+    }
+
+    header = f"{'shared cache':>14s}" + "".join(f"{name:>12s}" for name in prefetcher_kinds)
+    print(header + f"{'cross-hits':>12s}{'evict-miss':>12s}")
+    for capacity in (auto_pages, 256, 128, 64):
+        row = f"{capacity:>8d} pages"
+        cross = evicted = 0
+        for make_prefetcher in prefetcher_kinds.values():
+            simulator = ServingSimulator(
+                index, SimulationConfig(cache_capacity_pages=capacity)
+            )
+            report = simulator.run(clients, [make_prefetcher() for _ in clients])
+            row += f"{100 * report.aggregate_hit_rate:11.1f}%"
+            cross, evicted = report.cross_client_hits, report.evicted_misses
+        print(row + f"{cross:>12d}{evicted:>12d}")  # contention from the scout run
+
+    print(
+        "\nWith headroom, per-client accuracy matches the single-client"
+        "\nexperiments; once eight working sets outgrow the cache, eviction"
+        "\npressure (right column) erases prefetched pages before their"
+        "\nclient returns for them and every method degrades together."
+    )
+
+
+if __name__ == "__main__":
+    main()

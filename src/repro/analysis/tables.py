@@ -39,6 +39,8 @@ _PAPER_NOTES: dict[str, str] = {
     "fig17a": "Small queries: SCOUT best on lung/roads; EWMA (96%) beats SCOUT (90%) on arterial.",
     "fig17b": "Large queries: SCOUT best on all three datasets (up to ~73%).",
     "mem": "Prediction structures ~24% of result footprint for SCOUT, ~6% for SCOUT-OPT.",
+    "clients": "Extension beyond the paper: per-client accuracy should hold while the "
+    "shared cache has headroom, then degrade as client count x working set outgrows it.",
 }
 
 

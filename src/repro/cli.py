@@ -15,8 +15,11 @@ and prints its headline numbers.
 ``sweep`` expands an evaluation grid -- ``--figure 10|11|12`` for the
 microbenchmark grids, ``--figure 13`` (the default) with ``--panels``
 for the sensitivity panels, ``--figure 17`` with ``--panels a,b`` for
-the cross-domain applicability grid (lung/arterial/roads datasets) --
-into experiment cells, fans them out over ``--jobs`` worker processes,
+the cross-domain applicability grid (lung/arterial/roads datasets),
+``--figure clients`` for the multi-client serving grid (``--clients``
+counts x prefetchers x ``--cache-pages`` shared-cache sizes, optionally
+under ``--contention hotspot``) -- into experiment cells, fans them out
+over ``--jobs`` worker processes,
 persists every finished cell to a JSON-lines store keyed by the cell
 spec's content hash, and renders figure tables from the stored results.
 Re-runs against the same ``--out`` file resume: successful cells in the
@@ -117,21 +120,35 @@ def _parse_shard(value: str) -> tuple[int, int]:
     return shard_index, n_shards
 
 
+def _parse_figure(value: str):
+    """``--figure`` value: a figure number, or the ``clients`` grid."""
+    if value == "clients":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"figure must be 10|11|12|13|17|clients, got {value!r}"
+        ) from None
+
+
 def _build_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scout-repro sweep",
-        description="Run a paper evaluation grid (Figs 10-13) as a parallel, "
-        "fault-tolerant, resumable experiment sweep.",
+        description="Run an evaluation grid (paper Figs 10-13/17, or the "
+        "multi-client serving grid) as a parallel, fault-tolerant, "
+        "resumable experiment sweep.",
     )
     parser.add_argument(
         "--figure",
-        type=int,
-        choices=[10, 11, 12, 13, 17],
+        type=_parse_figure,
+        choices=[10, 11, 12, 13, 17, "clients"],
         default=13,
         help="which evaluation grid to sweep: the Fig-10 microbenchmark "
         "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
-        "the Fig-13 sensitivity panels (default), or the Fig-17 "
-        "cross-domain applicability grid (lung/arterial/roads)",
+        "the Fig-13 sensitivity panels (default), the Fig-17 "
+        "cross-domain applicability grid (lung/arterial/roads), or the "
+        "'clients' grid (N concurrent sessions over one shared cache)",
     )
     parser.add_argument(
         "--panels",
@@ -150,6 +167,25 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated microbenchmark names restricting a Fig-10/11/12 "
         "grid (default: every row of the figure)",
+    )
+    parser.add_argument(
+        "--clients",
+        default=None,
+        help="comma-separated concurrent-client counts restricting the "
+        "serving grid (default 1,2,4,8,16; --figure clients only)",
+    )
+    parser.add_argument(
+        "--cache-pages",
+        default=None,
+        help="comma-separated shared-cache sizes in pages ('auto' for the "
+        "engine's default sizing; default auto,128; --figure clients only)",
+    )
+    parser.add_argument(
+        "--contention",
+        choices=["independent", "hotspot"],
+        default="independent",
+        help="serving workload regime: independent walks per client, or "
+        "Zipf-skewed hot-region sharing (--figure clients only)",
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument(
@@ -199,7 +235,8 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="workload seed (default: the figure number's paper seed -- "
-        "13 for Fig 13, 17 for Fig 17, 11/11/12 for Figs 10/11/12)",
+        "13 for Fig 13, 17 for Fig 17, 11/11/12 for Figs 10/11/12, "
+        "21 for the clients grid)",
     )
     parser.add_argument(
         "--points",
@@ -317,6 +354,88 @@ def _render_fig17_tables(grids, results) -> None:
     )
 
 
+def _clients_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import SERVE_CACHE_PAGES, SERVE_CLIENTS, clients_matrix
+
+    clients = list(SERVE_CLIENTS)
+    if args.clients is not None:
+        try:
+            clients = [int(c) for c in args.clients.split(",") if c.strip()]
+        except ValueError:
+            parser.error(f"--clients must be comma-separated ints, got {args.clients!r}")
+        if not clients or any(c < 1 for c in clients):
+            parser.error(f"--clients counts must be >= 1, got {args.clients!r}")
+
+    cache_sizes: list = list(SERVE_CACHE_PAGES)
+    if args.cache_pages is not None:
+        cache_sizes = []
+        for item in args.cache_pages.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item == "auto":
+                cache_sizes.append(None)
+                continue
+            try:
+                pages = int(item)
+            except ValueError:
+                parser.error(
+                    f"--cache-pages entries must be ints or 'auto', got {item!r}"
+                )
+            if pages < 1:
+                parser.error(f"--cache-pages sizes must be >= 1, got {item!r}")
+            cache_sizes.append(pages)
+        if not cache_sizes:
+            parser.error("--cache-pages must name at least one size")
+
+    kwargs = {}
+    if args.neurons is not None:
+        kwargs["n_neurons"] = args.neurons
+    # One grid group per shared-cache size, so each renders as one table.
+    return [
+        (
+            "auto" if capacity is None else f"{capacity} pages",
+            clients_matrix(
+                clients=clients,
+                cache_pages=(capacity,),
+                mode=args.contention,
+                workload_seed=21 if args.seed is None else args.seed,
+                **kwargs,
+            ),
+        )
+        for capacity in cache_sizes
+    ]
+
+
+def _render_clients_tables(grids, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import serve_clients_of
+
+    offset = 0
+    for label, cells in grids:
+        panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
+        offset += len(cells)
+        hit = sweep_table(
+            f"Serving sweep -- shared cache {label} -- aggregate hit rate [%]",
+            panel_results,
+            column_of=lambda r: serve_clients_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+            figure_id="clients",
+        )
+        spread = sweep_table(
+            f"Serving sweep -- shared cache {label} -- per-client hit-rate std [%]",
+            panel_results,
+            column_of=lambda r: serve_clients_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: 100.0 * r.metrics.hit_rate_std,
+        )
+        print()
+        print(hit.render())
+        print()
+        print(spread.render())
+
+
 def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     from repro.workload.sweeps import FIGURE_MATRICES
 
@@ -426,7 +545,7 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--timeout must be positive, got {args.timeout}")
     # Refuse mixed-figure flags loudly: running the wrong (possibly
     # much larger) grid is worse than an argparse error.
-    if args.figure in (13, 17) and args.benches is not None:
+    if args.figure in (13, 17, "clients") and args.benches is not None:
         parser.error("--benches applies to --figure 10|11|12; use --panels for Figs 13/17")
     if args.figure not in (13, 17) and args.panels is not None:
         parser.error(f"--panels applies to --figure 13|17, not --figure {args.figure}")
@@ -435,13 +554,30 @@ def _sweep_command(argv: list[str]) -> int:
     if args.figure != 17 and args.datasets is not None:
         parser.error(f"--datasets applies to --figure 17, not --figure {args.figure}")
     if args.figure == 17 and args.neurons is not None:
-        parser.error("--neurons applies to the neuron-tissue grids (figures 10-13)")
-    out = args.out if args.out is not None else f"results/fig{args.figure}_sweep.jsonl"
+        parser.error("--neurons applies to the neuron-tissue grids (figures 10-13, clients)")
+    if args.figure != "clients":
+        if args.clients is not None:
+            parser.error(f"--clients applies to --figure clients, not --figure {args.figure}")
+        if args.cache_pages is not None:
+            parser.error(
+                f"--cache-pages applies to --figure clients, not --figure {args.figure}"
+            )
+        if args.contention != "independent":
+            parser.error(
+                f"--contention applies to --figure clients, not --figure {args.figure}"
+            )
+    elif args.sequences is not None:
+        parser.error("--sequences does not apply to --figure clients "
+                     "(each client runs one session; vary --clients instead)")
+    figure_stem = "clients" if args.figure == "clients" else f"fig{args.figure}"
+    out = args.out if args.out is not None else f"results/{figure_stem}_sweep.jsonl"
 
     if args.figure == 13:
         grids = _fig13_grids(args, parser)
     elif args.figure == 17:
         grids = _fig17_grids(args, parser)
+    elif args.figure == "clients":
+        grids = _clients_grids(args, parser)
     else:
         grids = _microbenchmark_grids(args)
     if grids is None:
@@ -456,7 +592,12 @@ def _sweep_command(argv: list[str]) -> int:
 
     all_cells = [cell for _, cells in grids for cell in cells]
     if args.list_cells:
-        from repro.workload.sweeps import fig13_axis_value, fig17_dataset_of, microbenchmark_of
+        from repro.workload.sweeps import (
+            fig13_axis_value,
+            fig17_dataset_of,
+            microbenchmark_of,
+            serve_clients_of,
+        )
 
         for label, cells in grids:
             for cell in cells:
@@ -464,6 +605,8 @@ def _sweep_command(argv: list[str]) -> int:
                     axis = f"axis={fig13_axis_value(label, cell.to_dict()):g}"
                 elif args.figure == 17:
                     axis = f"dataset={fig17_dataset_of(cell.to_dict())}"
+                elif args.figure == "clients":
+                    axis = f"clients={serve_clients_of(cell.to_dict())}"
                 else:
                     axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
                 print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
@@ -494,6 +637,8 @@ def _sweep_command(argv: list[str]) -> int:
         _render_fig13_tables(grids, report.results)
     elif args.figure == 17:
         _render_fig17_tables(grids, report.results)
+    elif args.figure == "clients":
+        _render_clients_tables(grids, report.results)
     else:
         _render_microbenchmark_tables(args.figure, report.results)
 

@@ -7,9 +7,17 @@ time), the prediction computation runs and the predicted locations are
 prefetched incrementally until the window closes.
 """
 
-from repro.sim.engine import SimulationConfig, SimulationEngine
-from repro.sim.metrics import QueryRecord, SequenceMetrics, AggregateMetrics, aggregate
+from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
+from repro.sim.metrics import (
+    AggregateMetrics,
+    ClientMetrics,
+    QueryRecord,
+    SequenceMetrics,
+    ServeReport,
+    aggregate,
+)
 from repro.sim.experiment import ExperimentResult, run_experiment
+from repro.sim.serve import ServingSimulator
 from repro.sim.results import (
     CellResult,
     CompactReport,
@@ -33,6 +41,7 @@ from repro.sim.runner import (
     WorkloadSpec,
     cached_dataset,
     run_cell,
+    run_serving_cell,
     warm_cell_resources,
 )
 
@@ -41,6 +50,7 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "CellTimeoutError",
+    "ClientMetrics",
     "CompactReport",
     "DatasetSpec",
     "ExperimentMatrix",
@@ -50,9 +60,12 @@ __all__ = [
     "ParallelRunner",
     "PrefetcherSpec",
     "QueryRecord",
+    "QuerySession",
     "ResultStore",
     "RunReport",
     "SequenceMetrics",
+    "ServeReport",
+    "ServingSimulator",
     "ShardedResultStore",
     "SimulationConfig",
     "SimulationEngine",
@@ -63,6 +76,7 @@ __all__ = [
     "merge_stores",
     "run_cell",
     "run_experiment",
+    "run_serving_cell",
     "shard_of",
     "shard_store_path",
     "warm_cell_resources",

@@ -15,6 +15,14 @@ For every query of a guided sequence the engine:
 
 All I/O is page-granular and deterministic; see DESIGN.md §2 for the
 substitution rationale.
+
+The per-query loop lives in :class:`QuerySession`, a resumable state
+machine that advances one explicit phase at a time (serve → window →
+observe/predict → execute-plan).  :meth:`SimulationEngine.run` drives a
+single session to completion over a private cache and disk -- the
+classic one-client experiment -- while the serving layer
+(:mod:`repro.sim.serve`, DESIGN.md §6) interleaves many sessions over
+one shared cache and disk to model concurrent users.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.storage.cache import PrefetchCache
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.workload.sequence import QuerySequence
 
-__all__ = ["SimulationConfig", "SimulationEngine"]
+__all__ = ["QuerySession", "SimulationConfig", "SimulationEngine"]
 
 
 @dataclass(frozen=True)
@@ -136,87 +144,13 @@ class SimulationEngine:
     # -- one sequence ---------------------------------------------------------------------
 
     def run(self, sequence: QuerySequence, prefetcher: Prefetcher) -> SequenceMetrics:
-        """Execute one sequence with one prefetcher, cold caches."""
-        cache = PrefetchCache(self.config.cache_capacity_for(self.index))
-        disk = DiskModel(self.config.disk)
-        prefetcher.begin_sequence()
+        """Execute one sequence with one prefetcher, cold caches.
 
-        metrics = SequenceMetrics()
-        for query_index, query in enumerate(sequence.queries):
-            result = self.index.query(query.bounds)
-            pages = [int(p) for p in result.page_ids]
-
-            # Pages in the prefetch cache are hits; the rest is residual
-            # I/O.  Result pages do NOT enter the prefetch cache -- the
-            # cache holds prefetched data only ("percentage of data read
-            # from the prefetch cache rather than from disk", §3.3).
-            hits = [p for p in pages if cache.touch(p)]
-            hit_set = set(hits)
-            misses = [p for p in pages if p not in cache]
-            residual = disk.read_pages(misses)
-
-            # Data-level hit accounting (§3.3): an object is served from
-            # the cache when its page was prefetched.
-            object_pages = self.index.page_table.page_ids_of_objects(result.object_ids)
-            objects_hit = int(sum(1 for p in object_pages if int(p) in hit_set))
-
-            cold = disk.cost_if_cold(pages)
-            window = sequence.window_ratio * cold
-
-            prefetcher.observe(
-                ObservedQuery(
-                    index=query_index,
-                    bounds=query.bounds,
-                    result_object_ids=result.object_ids,
-                )
-            )
-            prediction_cost = prefetcher.prediction_cost_seconds()
-            build_cost = prefetcher.graph_build_cost_seconds()
-            budget = window - prediction_cost
-
-            prefetch_pages = 0
-            prefetch_seconds = 0.0
-            gap_pages_used = 0
-
-            # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).
-            for page in prefetcher.gap_io_pages():
-                if budget <= 0:
-                    break
-                gap_pages_used += 1
-                if page in cache:
-                    continue
-                cost = disk.read_pages([page])
-                budget -= cost
-                prefetch_seconds += cost
-                cache.insert(page)
-
-            # Execute the plan within the remaining window.
-            if budget > 0:
-                used = self._execute_plan(prefetcher.plan(), query, cache, disk, budget)
-                prefetch_pages += used[0]
-                prefetch_seconds += used[1]
-
-            n_candidates = getattr(prefetcher, "n_candidates", 0)
-            metrics.records.append(
-                QueryRecord(
-                    index=query_index,
-                    pages_needed=len(pages),
-                    pages_hit=len(hits),
-                    objects_needed=result.n_objects,
-                    objects_hit=objects_hit,
-                    residual_seconds=residual,
-                    cold_seconds=cold,
-                    window_seconds=window,
-                    prediction_seconds=prediction_cost,
-                    graph_build_seconds=build_cost,
-                    prefetch_pages=prefetch_pages,
-                    prefetch_seconds=prefetch_seconds,
-                    gap_io_pages=gap_pages_used,
-                    n_result_objects=result.n_objects,
-                    n_candidates=n_candidates,
-                )
-            )
-        return metrics
+        Thin wrapper driving one :class:`QuerySession` to completion over
+        a private cache and disk; metrics are bit-identical to the
+        historical monolithic loop.
+        """
+        return QuerySession(self, sequence, prefetcher).run()
 
     def _execute_plan(
         self,
@@ -225,8 +159,13 @@ class SimulationEngine:
         cache: PrefetchCache,
         disk: DiskModel,
         budget: float,
+        owner: int | None = None,
     ) -> tuple[int, float]:
         """Spend the window on the plan; returns (pages read, seconds).
+
+        ``owner`` tags inserted pages with the prefetching client for
+        shared-cache accounting (see :mod:`repro.sim.serve`); it never
+        affects spending or eviction decisions.
 
         The budget is split share-proportionally across targets and spent
         in passes: each pass grants every still-active target its share
@@ -296,8 +235,229 @@ class SimulationEngine:
                     remaining -= cost
                     seconds += cost
                     pages_read += len(batch)
-                    cache.insert_many(batch)
+                    cache.insert_many(batch, owner)
                 carry = max(0.0, allotment - spent)
             if not advanced:
                 break
         return pages_read, seconds
+
+
+class QuerySession:
+    """One client's sequence as a resumable state machine.
+
+    The monolithic per-query loop of the historical ``run`` method,
+    split into the four explicit phases of the paper's Figure-2
+    timeline so sessions can be *interleaved*:
+
+    ``serve``
+        execute the query; cached pages are hits, the rest is residual
+        I/O read from the (possibly shared) disk;
+    ``window``
+        open the prefetch window (``window_ratio x`` the cold read time);
+    ``predict``
+        let the prefetcher observe the query and charge its prediction
+        cost against the window;
+    ``prefetch``
+        spend the remaining window on gap I/O and the incremental plan,
+        then append the query's :class:`QueryRecord` and rewind to
+        ``serve`` for the next query.
+
+    Phase order and every cache/disk operation match the historical
+    loop exactly, so a session run to completion over a private cache
+    and disk is bit-identical to it -- the property the golden-metrics
+    suite pins.  :class:`~repro.sim.serve.ServingSimulator` instead
+    passes many sessions one *shared* cache and disk; ``client_id``
+    tags that session's prefetched pages so the shared cache can
+    attribute hits across clients (DESIGN.md §6).
+    """
+
+    #: Phase cycle of one query, in execution order.
+    PHASES = ("serve", "window", "predict", "prefetch")
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        sequence: QuerySequence,
+        prefetcher: Prefetcher,
+        *,
+        cache: PrefetchCache | None = None,
+        disk: DiskModel | None = None,
+        client_id: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.sequence = sequence
+        self.prefetcher = prefetcher
+        config = engine.config
+        self.cache = (
+            PrefetchCache(config.cache_capacity_for(engine.index)) if cache is None else cache
+        )
+        self.disk = DiskModel(config.disk) if disk is None else disk
+        self.client_id = client_id
+        self.metrics = SequenceMetrics()
+        self.phase = "serve"
+        self._cursor = 0
+        self._ctx: dict = {}
+        # Shared-cache accounting: this session's page touches, and the
+        # contention-attributed subsets (see DESIGN.md §6).
+        self.shared_hits = 0
+        self.shared_misses = 0
+        self.cross_client_hits = 0
+        self.evicted_misses = 0
+        prefetcher.begin_sequence()
+
+    # -- state ----------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether every query has fully completed (no phase in flight)."""
+        return self._cursor >= len(self.sequence.queries)
+
+    @property
+    def query_index(self) -> int:
+        """Index of the query currently (or next) being processed."""
+        return self._cursor
+
+    # -- stepping -------------------------------------------------------------------
+
+    def step(self) -> str | None:
+        """Run the current phase and advance; returns the phase run.
+
+        Returns ``None`` when the session is already done.  Phases cycle
+        ``serve -> window -> predict -> prefetch`` per query; the
+        ``prefetch`` phase appends the query's record and rewinds to
+        ``serve`` for the next query.
+        """
+        if self.done:
+            return None
+        phase = self.phase
+        getattr(self, f"_phase_{phase}")()
+        at = self.PHASES.index(phase)
+        self.phase = self.PHASES[(at + 1) % len(self.PHASES)]
+        return phase
+
+    def step_query(self) -> QueryRecord | None:
+        """Advance through every phase of one query; its record, or None.
+
+        Resumes mid-query: if a previous caller stopped between phases,
+        only the remaining phases run.
+        """
+        if self.done:
+            return None
+        while self.step() != "prefetch":
+            pass
+        return self.metrics.records[-1]
+
+    def run(self) -> SequenceMetrics:
+        """Run the session to completion (the single-client fast path)."""
+        while not self.done:
+            self.step_query()
+        return self.metrics
+
+    # -- the four phases --------------------------------------------------------------
+
+    def _phase_serve(self) -> None:
+        query = self.sequence.queries[self._cursor]
+        result = self.engine.index.query(query.bounds)
+        pages = [int(p) for p in result.page_ids]
+
+        # Pages in the prefetch cache are hits; the rest is residual
+        # I/O.  Result pages do NOT enter the prefetch cache -- the
+        # cache holds prefetched data only ("percentage of data read
+        # from the prefetch cache rather than from disk", §3.3).
+        cache = self.cache
+        hits = [p for p in pages if cache.touch(p)]
+        hit_set = set(hits)
+        misses = [p for p in pages if p not in cache]
+        residual = self.disk.read_pages(misses)
+
+        self.shared_hits += len(hits)
+        self.shared_misses += len(pages) - len(hits)
+        if self.client_id is not None:
+            self.cross_client_hits += sum(
+                1 for p in hits if cache.owner_of(p) != self.client_id
+            )
+            self.evicted_misses += sum(1 for p in misses if cache.was_evicted(p))
+
+        # Data-level hit accounting (§3.3): an object is served from
+        # the cache when its page was prefetched.
+        object_pages = self.engine.index.page_table.page_ids_of_objects(result.object_ids)
+        objects_hit = int(sum(1 for p in object_pages if int(p) in hit_set))
+
+        self._ctx = {
+            "query": query,
+            "result": result,
+            "pages": pages,
+            "n_hits": len(hits),
+            "residual": residual,
+            "objects_hit": objects_hit,
+        }
+
+    def _phase_window(self) -> None:
+        ctx = self._ctx
+        ctx["cold"] = self.disk.cost_if_cold(ctx["pages"])
+        ctx["window"] = self.sequence.window_ratio * ctx["cold"]
+
+    def _phase_predict(self) -> None:
+        ctx = self._ctx
+        self.prefetcher.observe(
+            ObservedQuery(
+                index=self._cursor,
+                bounds=ctx["query"].bounds,
+                result_object_ids=ctx["result"].object_ids,
+            )
+        )
+        ctx["prediction_cost"] = self.prefetcher.prediction_cost_seconds()
+        ctx["build_cost"] = self.prefetcher.graph_build_cost_seconds()
+        ctx["budget"] = ctx["window"] - ctx["prediction_cost"]
+
+    def _phase_prefetch(self) -> None:
+        ctx = self._ctx
+        cache, disk = self.cache, self.disk
+        budget = ctx["budget"]
+
+        prefetch_pages = 0
+        prefetch_seconds = 0.0
+        gap_pages_used = 0
+
+        # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).
+        for page in self.prefetcher.gap_io_pages():
+            if budget <= 0:
+                break
+            gap_pages_used += 1
+            if page in cache:
+                continue
+            cost = disk.read_pages([page])
+            budget -= cost
+            prefetch_seconds += cost
+            cache.insert(page, self.client_id)
+
+        # Execute the plan within the remaining window.
+        if budget > 0:
+            used = self.engine._execute_plan(
+                self.prefetcher.plan(), ctx["query"], cache, disk, budget, self.client_id
+            )
+            prefetch_pages += used[0]
+            prefetch_seconds += used[1]
+
+        result = ctx["result"]
+        self.metrics.records.append(
+            QueryRecord(
+                index=self._cursor,
+                pages_needed=len(ctx["pages"]),
+                pages_hit=ctx["n_hits"],
+                objects_needed=result.n_objects,
+                objects_hit=ctx["objects_hit"],
+                residual_seconds=ctx["residual"],
+                cold_seconds=ctx["cold"],
+                window_seconds=ctx["window"],
+                prediction_seconds=ctx["prediction_cost"],
+                graph_build_seconds=ctx["build_cost"],
+                prefetch_pages=prefetch_pages,
+                prefetch_seconds=prefetch_seconds,
+                gap_io_pages=gap_pages_used,
+                n_result_objects=result.n_objects,
+                n_candidates=getattr(self.prefetcher, "n_candidates", 0),
+            )
+        )
+        self._ctx = {}
+        self._cursor += 1

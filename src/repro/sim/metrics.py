@@ -9,6 +9,12 @@ prediction and residual I/O (Fig 14).
 Hit rates are accounted at page granularity over queries 2..n of each
 sequence -- the first query has no history, so every method starts
 cold there (see DESIGN.md §5).
+
+The serving layer adds two multi-client views (DESIGN.md §6):
+:class:`ClientMetrics` wraps one client's per-sequence accounting with
+its shared-cache contention counters, and :class:`ServeReport` pools a
+whole :class:`~repro.sim.serve.ServingSimulator` run -- per-client and
+aggregate hit rates plus the cache-level contention statistics.
 """
 
 from __future__ import annotations
@@ -17,7 +23,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["AggregateMetrics", "QueryRecord", "SequenceMetrics", "aggregate"]
+__all__ = [
+    "AggregateMetrics",
+    "ClientMetrics",
+    "QueryRecord",
+    "SequenceMetrics",
+    "ServeReport",
+    "aggregate",
+]
 
 
 @dataclass
@@ -144,6 +157,102 @@ class AggregateMetrics:
         return (
             f"hit-rate {100 * self.cache_hit_rate:.1f}% "
             f"(±{100 * self.hit_rate_std:.1f}) speedup {self.speedup:.2f}x"
+        )
+
+
+@dataclass
+class ClientMetrics:
+    """One client's accounting in a multi-client serving run.
+
+    ``metrics`` is the client's ordinary :class:`SequenceMetrics`; the
+    extra counters attribute its shared-cache traffic.  ``shared_hits``
+    and ``shared_misses`` are this client's page touches on the shared
+    cache (their sum over all clients equals the cache's own totals --
+    a property-tested invariant).  ``cross_client_hits`` are hits on
+    pages *another* client prefetched; ``evicted_misses`` are misses on
+    pages that had been prefetched but were evicted before use -- the
+    contention signature of an undersized shared cache.
+    """
+
+    client_id: int
+    metrics: SequenceMetrics
+    shared_hits: int = 0
+    shared_misses: int = 0
+    cross_client_hits: int = 0
+    evicted_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.metrics.cache_hit_rate
+
+    @property
+    def page_hit_rate(self) -> float:
+        return self.metrics.page_hit_rate
+
+
+@dataclass
+class ServeReport:
+    """What one :class:`~repro.sim.serve.ServingSimulator` run measured.
+
+    Pools the per-client metrics with the shared cache's own counters.
+    ``n_ticks`` is how many round-robin scheduler passes the run took
+    (staggered clients idle through their first ticks).
+    """
+
+    clients: list[ClientMetrics]
+    capacity_pages: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_insertions: int
+    n_ticks: int
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def per_client_hit_rates(self) -> list[float]:
+        """Object-weighted hit rate of each client, in client order."""
+        return [client.cache_hit_rate for client in self.clients]
+
+    @property
+    def aggregate_hit_rate(self) -> float:
+        """Object-weighted hit rate pooled over every client."""
+        return self.to_aggregate().cache_hit_rate
+
+    @property
+    def cross_client_hits(self) -> int:
+        """Hits served by a page some *other* client prefetched."""
+        return sum(client.cross_client_hits for client in self.clients)
+
+    @property
+    def evicted_misses(self) -> int:
+        """Misses on pages prefetched but evicted before use."""
+        return sum(client.evicted_misses for client in self.clients)
+
+    @property
+    def cross_client_hit_rate(self) -> float:
+        """Fraction of all shared-cache hits served across clients."""
+        hits = sum(client.shared_hits for client in self.clients)
+        if hits == 0:
+            return 0.0
+        return self.cross_client_hits / hits
+
+    def to_aggregate(self) -> AggregateMetrics:
+        """Pool the clients exactly like sequences of one experiment cell.
+
+        Each client counts as one "sequence" of the aggregate, so
+        ``per_sequence_hit_rates`` carries the per-client hit rates into
+        the result store unchanged -- serving cells persist through the
+        same schema as single-client cells.
+        """
+        return aggregate([client.metrics for client in self.clients])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_clients} clients: hit-rate {100 * self.aggregate_hit_rate:.1f}% "
+            f"cross-client {self.cross_client_hits} evicted-misses {self.evicted_misses}"
         )
 
 

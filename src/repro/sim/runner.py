@@ -84,6 +84,7 @@ from repro.sim.results import (
     cell_key,
 )
 from repro.storage.disk import DiskParameters
+from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
 
 __all__ = [
@@ -98,8 +99,10 @@ __all__ = [
     "WorkloadSpec",
     "cached_dataset",
     "prepare_cell",
+    "prepare_serving_cell",
     "profiled_run_cell",
     "run_cell",
+    "run_serving_cell",
     "warm_cell_resources",
 ]
 
@@ -281,6 +284,16 @@ class CellSpec:
     independent of which worker runs the cell or in what order.
     ``sim`` holds :class:`SimulationConfig` overrides (with an optional
     nested ``"disk"`` dict of :class:`DiskParameters` fields).
+
+    ``serve`` turns the cell into a *multi-client serving* cell: when
+    non-empty, the cell runs N concurrent client sessions over one
+    shared cache and disk (:class:`~repro.sim.serve.ServingSimulator`)
+    instead of one prefetcher over independent sequences.  Recognized
+    keys: ``n_clients`` (required), ``mode``
+    (``independent``/``hotspot``), ``stagger``, ``hot_pool``,
+    ``zipf_s`` -- see :func:`repro.workload.multiclient.multiclient_sessions`.
+    Serialization omits an empty ``serve``, so every pre-existing cell
+    keeps its content hash (and its stored results).
     """
 
     dataset: DatasetSpec
@@ -289,9 +302,10 @@ class CellSpec:
     prefetcher: PrefetcherSpec
     seed: int = 0
     sim: Mapping[str, Any] = field(default_factory=dict)
+    serve: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "dataset": self.dataset.to_dict(),
             "index": self.index.to_dict(),
             "workload": self.workload.to_dict(),
@@ -299,6 +313,9 @@ class CellSpec:
             "seed": int(self.seed),
             "sim": dict(self.sim),
         }
+        if self.serve:
+            data["serve"] = dict(self.serve)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
@@ -311,6 +328,7 @@ class CellSpec:
             ),
             seed=int(data["seed"]),
             sim=dict(data.get("sim", {})),
+            serve=dict(data.get("serve", {})),
         )
 
     def key(self) -> str:
@@ -518,13 +536,85 @@ def prepare_cell(spec: CellSpec):
     return index, sequences, prefetcher, _sim_config(spec.sim)
 
 
+def prepare_serving_cell(spec: CellSpec):
+    """Everything a serving cell needs: (index, clients, prefetchers, config).
+
+    The spec's ``serve`` mapping sizes the client fleet; the workload
+    fields describe each client's single navigation session.  Every
+    client gets its *own* prefetcher instance (prediction state is
+    per-user) built from the same prefetcher spec.
+    """
+    serve = dict(spec.serve)
+    try:
+        n_clients = int(serve.pop("n_clients"))
+    except KeyError:
+        raise ValueError("serving cells require serve['n_clients']") from None
+    known = {"mode", "stagger", "hot_pool", "zipf_s"}
+    unknown = set(serve) - known
+    if unknown:
+        raise ValueError(f"unknown serve key(s) {sorted(unknown)}; known: {sorted(known)}")
+    w = spec.workload
+    if w.n_sequences != n_clients:
+        # The serving path sizes the fleet from serve['n_clients'] and
+        # gives every client exactly one session; a differing
+        # n_sequences would silently fork the cell key while computing
+        # the same thing.
+        raise ValueError(
+            f"serving cells need workload.n_sequences == serve['n_clients'] "
+            f"(one session per client); got {w.n_sequences} != {n_clients}"
+        )
+    dataset = cached_dataset(spec.dataset)
+    index = _cached_index(spec.dataset, spec.index)
+    clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=spec.seed,
+        n_queries=w.n_queries,
+        volume=w.volume,
+        gap=w.gap,
+        aspect=w.aspect,
+        window_ratio=w.window_ratio,
+        **serve,
+    )
+    prefetchers = [spec.prefetcher.build(dataset, index) for _ in clients]
+    return index, clients, prefetchers, _sim_config(spec.sim)
+
+
+def run_serving_cell(spec: CellSpec) -> tuple[CellResult, "ServeReport"]:
+    """Execute one multi-client serving cell; (result, full serve report).
+
+    The persisted :class:`CellResult` carries the pooled
+    :class:`AggregateMetrics` (clients stand in for sequences, so
+    ``per_sequence_hit_rates`` holds the per-client hit rates) and flows
+    through the ordinary result-store schema; the richer
+    :class:`~repro.sim.metrics.ServeReport` (contention counters) is
+    returned alongside for callers that hold the live object.
+    """
+    from repro.sim.serve import ServingSimulator
+
+    started = time.perf_counter()
+    index, clients, prefetchers, config = prepare_serving_cell(spec)
+    report = ServingSimulator(index, config).run(clients, prefetchers)
+    result = CellResult(
+        key=spec.key(),
+        spec=spec.to_dict(),
+        metrics=report.to_aggregate(),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    return result, report
+
+
 def run_cell(spec: CellSpec) -> CellResult:
     """Execute one experiment cell from its declarative spec.
 
     This is the unit of work :class:`ParallelRunner` schedules; it
     rebuilds (memoized) dataset and index, generates the cell's guided
-    sequences, and delegates to :func:`run_experiment`.
+    sequences, and delegates to :func:`run_experiment` -- or, for cells
+    carrying a ``serve`` mapping, to the multi-client
+    :class:`~repro.sim.serve.ServingSimulator`.
     """
+    if spec.serve:
+        return run_serving_cell(spec)[0]
     started = time.perf_counter()
     index, sequences, prefetcher, config = prepare_cell(spec)
     outcome = run_experiment(index, sequences, prefetcher, config)

@@ -1,0 +1,117 @@
+"""Multi-client serving simulator: N sessions, one cache, one disk.
+
+The paper's experiments run one interactive client against a private
+prefetch cache.  A deployment serves *many* concurrent users whose
+prefetchers share the cache and the disk -- the shared-resource
+pressure that decides whether prefetching still pays off at scale
+(DESIGN.md §6).  :class:`ServingSimulator` models exactly that:
+
+* every client is a :class:`~repro.sim.engine.QuerySession` -- the same
+  resumable state machine the single-client engine drives -- so serving
+  changes *scheduling*, never per-query semantics;
+* all sessions share one :class:`~repro.storage.cache.PrefetchCache`
+  and one :class:`~repro.storage.disk.DiskModel`; prefetched pages are
+  owner-tagged, so hits can be attributed across clients and misses to
+  eviction pressure;
+* scheduling is deterministic round-robin at query granularity: each
+  tick, every live (started, unfinished) client executes its next query
+  in client order.  ``start_tick`` staggering delays arrivals.
+
+With one client the shared cache and disk degenerate to private ones,
+so ``ServingSimulator`` over a single session is bit-identical to
+:meth:`~repro.sim.engine.SimulationEngine.run` -- pinned by the
+property suite in ``tests/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import Prefetcher
+from repro.index.base import SpatialIndex
+from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
+from repro.sim.metrics import ClientMetrics, ServeReport
+from repro.storage.cache import PrefetchCache
+from repro.storage.disk import DiskModel
+from repro.workload.multiclient import ClientWorkload
+
+__all__ = ["ServingSimulator"]
+
+
+class ServingSimulator:
+    """Multiplexes client sessions over one shared cache and disk."""
+
+    def __init__(self, index: SpatialIndex, config: SimulationConfig | None = None) -> None:
+        self.index = index
+        self.config = config or SimulationConfig()
+        self.engine = SimulationEngine(index, self.config)
+
+    def run(
+        self,
+        clients: Sequence[ClientWorkload],
+        prefetchers: Sequence[Prefetcher],
+    ) -> ServeReport:
+        """Serve every client to completion; returns the pooled report.
+
+        ``prefetchers`` is parallel to ``clients``: each client owns its
+        prefetcher instance (prediction state is per-user), while cache
+        and disk are shared.  Deterministic: same clients + prefetchers
+        in, same report out, regardless of wall-clock.
+        """
+        clients = list(clients)
+        if not clients:
+            raise ValueError("serving needs at least one client")
+        if len(prefetchers) != len(clients):
+            raise ValueError(
+                f"got {len(prefetchers)} prefetchers for {len(clients)} clients; "
+                "each client needs its own instance"
+            )
+        cache = PrefetchCache(self.config.cache_capacity_for(self.index))
+        disk = DiskModel(self.config.disk)
+        sessions = [
+            QuerySession(
+                self.engine,
+                client.sequence,
+                prefetcher,
+                cache=cache,
+                disk=disk,
+                client_id=client.client_id,
+            )
+            for client, prefetcher in zip(clients, prefetchers)
+        ]
+
+        tick = 0
+        while True:
+            advanced = False
+            waiting = False
+            for client, session in zip(clients, sessions):
+                if session.done:
+                    continue
+                if client.start_tick > tick:
+                    waiting = True
+                    continue
+                session.step_query()
+                advanced = True
+            if not advanced and not waiting:
+                break
+            tick += 1
+
+        return ServeReport(
+            clients=[
+                ClientMetrics(
+                    client_id=client.client_id,
+                    metrics=session.metrics,
+                    shared_hits=session.shared_hits,
+                    shared_misses=session.shared_misses,
+                    cross_client_hits=session.cross_client_hits,
+                    evicted_misses=session.evicted_misses,
+                )
+                for client, session in zip(clients, sessions)
+            ],
+            capacity_pages=cache.capacity_pages,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_insertions=cache.insertions,
+            n_ticks=tick,
+        )

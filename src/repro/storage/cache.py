@@ -7,6 +7,15 @@ query result size matches the paper's regime.  Section 7.4.4 notes that a
 small cache halts prefetching prematurely exactly like a short prefetch
 window -- the eviction-on-full behaviour below is what produces that
 effect in the sensitivity benchmarks.
+
+The serving layer (DESIGN.md §6) shares one cache between many client
+sessions, so every cached page carries an optional *owner* tag (the
+client that prefetched it) and the cache remembers which pages it has
+evicted: together these let :class:`~repro.sim.serve.ServingSimulator`
+attribute a hit to the client whose prefetch produced it (cross-client
+hits) and a miss to contention (eviction-induced misses).  Single-client
+callers ignore both facilities; they change no eviction or counting
+behaviour.
 """
 
 from __future__ import annotations
@@ -24,7 +33,10 @@ class PrefetchCache:
         if capacity_pages < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity_pages = int(capacity_pages)
-        self._pages: OrderedDict[int, None] = OrderedDict()
+        # page id -> owner tag of the client that first inserted it
+        # (None for untagged single-client use).
+        self._pages: OrderedDict[int, int | None] = OrderedDict()
+        self._evicted: set[int] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -46,6 +58,25 @@ class PrefetchCache:
         """Page ids currently cached, least-recently-used first."""
         return list(self._pages.keys())
 
+    def owner_of(self, page_id: int) -> int | None:
+        """Owner tag of a cached page (``None`` if untagged or absent).
+
+        Ownership is first-inserter-wins: a re-insert refreshes recency
+        but keeps the original tag, so a cross-client hit credits the
+        client whose prefetch actually brought the page in.
+        """
+        return self._pages.get(int(page_id))
+
+    def was_evicted(self, page_id: int) -> bool:
+        """Whether the page was cached at some point and then evicted.
+
+        A miss on such a page is *eviction-induced*: the data had been
+        prefetched but was pushed out (by cache pressure, e.g. from
+        other clients sharing the cache) before it was used.  Re-inserting
+        the page clears the mark.
+        """
+        return int(page_id) in self._evicted
+
     # -- operations ----------------------------------------------------------
 
     def touch(self, page_id: int) -> bool:
@@ -62,8 +93,13 @@ class PrefetchCache:
         self.misses += 1
         return False
 
-    def insert(self, page_id: int) -> None:
-        """Add a page, evicting the least recently used page when full."""
+    def insert(self, page_id: int, owner: int | None = None) -> None:
+        """Add a page, evicting the least recently used page when full.
+
+        ``owner`` tags the page with the inserting client for shared-cache
+        accounting; re-inserts keep the original tag (and recency moves
+        to the end, as before).
+        """
         if self.capacity_pages == 0:
             return
         page_id = int(page_id)
@@ -71,18 +107,21 @@ class PrefetchCache:
             self._pages.move_to_end(page_id)
             return
         while len(self._pages) >= self.capacity_pages:
-            self._pages.popitem(last=False)
+            evicted, _ = self._pages.popitem(last=False)
+            self._evicted.add(evicted)
             self.evictions += 1
-        self._pages[page_id] = None
+        self._pages[page_id] = owner
+        self._evicted.discard(page_id)
         self.insertions += 1
 
-    def insert_many(self, page_ids: Iterable[int]) -> None:
+    def insert_many(self, page_ids: Iterable[int], owner: int | None = None) -> None:
         for page_id in page_ids:
-            self.insert(page_id)
+            self.insert(page_id, owner)
 
     def clear(self) -> None:
         """Drop all cached pages (the paper clears caches between sequences)."""
         self._pages.clear()
+        self._evicted.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0

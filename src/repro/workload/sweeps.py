@@ -19,13 +19,18 @@ Three families of declarative grids live here:
   :func:`fig17_matrix` crosses the cross-domain datasets (lung airway
   mesh, arterial tree, road network) with the standard prefetcher set,
   one panel per query-size regime (small / large, sized as fractions of
-  each dataset's volume).
+  each dataset's volume);
+* the **client-scaling grid** (serving layer, DESIGN.md §6 -- an
+  extension beyond the paper): :func:`clients_matrix` crosses client
+  counts with prefetchers and shared-cache sizes, each cell a
+  multi-client :class:`~repro.sim.serve.ServingSimulator` run over one
+  shared cache and disk.
 
 All builders return pure-data :class:`~repro.sim.ExperimentMatrix`
-values (Fig 17 returns the per-dataset matrices' cells as one list,
-because each dataset carries its own query volume); run them with
-:class:`~repro.sim.ParallelRunner` (cells are keyed by content hash, so
-repeated runs resume from the store).
+values (Fig 17 and the clients grid return cell lists, because their
+cells vary per-dataset query volumes or per-cell serving parameters);
+run them with :class:`~repro.sim.ParallelRunner` (cells are keyed by
+content hash, so repeated runs resume from the store).
 """
 
 from __future__ import annotations
@@ -44,7 +49,11 @@ __all__ = [
     "FIG17_PANELS",
     "FIGURE_MATRICES",
     "SENSITIVITY_DEFAULTS",
+    "SERVE_CACHE_PAGES",
+    "SERVE_CLIENTS",
+    "SERVE_PREFETCHERS",
     "SweepDefaults",
+    "clients_matrix",
     "fig10_matrix",
     "fig11_matrix",
     "fig12_matrix",
@@ -56,6 +65,8 @@ __all__ = [
     "fig17_query_volume",
     "microbenchmark_of",
     "scale_factor",
+    "serve_cache_label",
+    "serve_clients_of",
 ]
 
 
@@ -482,6 +493,105 @@ def fig17_matrix(
 def fig17_dataset_of(spec: Mapping[str, Any]) -> str:
     """The dataset column a Fig-17 cell-spec dict belongs to."""
     return spec["dataset"]["kind"]
+
+
+# -- the client-scaling serving grid ------------------------------------------------
+
+#: Concurrent-client counts of the serving sweep's x-axis.
+SERVE_CLIENTS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: The serving comparison set: the best trajectory baseline vs SCOUT.
+SERVE_PREFETCHERS: tuple[tuple[str, dict], ...] = (
+    ("ewma", {"lam": 0.3}),
+    ("scout", {}),
+)
+
+#: Shared-cache capacities swept (``None`` = the engine's auto sizing,
+#: ~12% of the dataset's pages; the small value models a cache under
+#: heavy contention -- every client fights for the same few pages).
+SERVE_CACHE_PAGES: tuple[int | None, ...] = (None, 128)
+
+
+def clients_matrix(
+    *,
+    clients: Sequence[int] = SERVE_CLIENTS,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = SERVE_PREFETCHERS,
+    cache_pages: Sequence[int | None] = SERVE_CACHE_PAGES,
+    mode: str = "independent",
+    stagger: int = 1,
+    n_neurons: int = 40,
+    n_queries: int | None = None,
+    volume: float | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 21,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+) -> list:
+    """The client-scaling serving grid: clients x prefetchers x cache sizes.
+
+    Every cell is a multi-client serving run (``serve`` mapping on the
+    spec): N concurrent sessions round-robin over one shared prefetch
+    cache and disk, client ``i`` joining ``stagger`` ticks after client
+    ``i-1``.  ``mode`` picks the contention regime of
+    :func:`repro.workload.multiclient.multiclient_sessions`
+    (``independent`` walks vs Zipf-skewed ``hotspot`` sharing).  Cells
+    order cache-size-major (then prefetcher, then client count) so each
+    cache size renders as one table.  Returns a flat cell list, like
+    :func:`fig17_matrix`, because the serving parameters vary per cell.
+    """
+    # Imported here: repro.sim.runner imports repro.workload.sequence,
+    # so a module-level import would be circular through repro.sim.
+    from repro.sim.runner import (
+        CellSpec,
+        DatasetSpec,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+
+    client_counts = [int(n) for n in clients]
+    if not client_counts or any(n < 1 for n in client_counts):
+        raise ValueError(f"clients must be positive ints, got {list(clients)!r}")
+    n_queries = defaults.n_queries if n_queries is None else int(n_queries)
+    volume = defaults.volume if volume is None else float(volume)
+
+    dataset = DatasetSpec("neuron", {"n_neurons": int(n_neurons), "seed": dataset_seed})
+    index = IndexSpec("flat", {"fanout": fanout})
+    cells: list = []
+    for capacity in cache_pages:
+        sim = {} if capacity is None else {"cache_capacity_pages": int(capacity)}
+        for kind, params in prefetchers:
+            for n in client_counts:
+                cells.append(
+                    CellSpec(
+                        dataset=dataset,
+                        index=index,
+                        workload=WorkloadSpec(
+                            n_sequences=n,  # one session per client
+                            n_queries=n_queries,
+                            volume=volume,
+                            gap=defaults.gap,
+                            aspect=defaults.aspect,
+                            window_ratio=defaults.window_ratio,
+                        ),
+                        prefetcher=PrefetcherSpec(kind, dict(params)),
+                        seed=workload_seed,
+                        sim=sim,
+                        serve={"n_clients": n, "mode": mode, "stagger": int(stagger)},
+                    )
+                )
+    return cells
+
+
+def serve_clients_of(spec: Mapping[str, Any]) -> int:
+    """The client-count column a serving cell-spec dict belongs to."""
+    return int(spec["serve"]["n_clients"])
+
+
+def serve_cache_label(spec: Mapping[str, Any]) -> str:
+    """Human label of a serving cell's shared-cache size ("auto" or pages)."""
+    capacity = spec.get("sim", {}).get("cache_capacity_pages")
+    return "auto" if capacity is None else f"{int(capacity)} pages"
 
 
 #: Figure number -> (matrix builder, default benches) for the

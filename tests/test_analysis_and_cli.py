@@ -278,8 +278,56 @@ class TestSweepCli:
             ["sweep", "--figure", "17", "--points", "2"],
             ["sweep", "--figure", "17", "--neurons", "6"],
             ["sweep", "--figure", "13", "--datasets", "roads"],
+            ["sweep", "--figure", "13", "--clients", "1,2"],
+            ["sweep", "--figure", "10", "--cache-pages", "64"],
+            ["sweep", "--figure", "17", "--contention", "hotspot"],
+            ["sweep", "--figure", "clients", "--sequences", "2"],
+            ["sweep", "--figure", "clients", "--panels", "a"],
         ]
         for args in mixed:
+            with pytest.raises(SystemExit) as excinfo:
+                main(args + ["--out", str(tmp_path / "s.jsonl")])
+            assert excinfo.value.code == 2, args
+
+    CLIENTS_ARGS = [
+        "sweep", "--figure", "clients",
+        "--clients", "1,2",
+        "--cache-pages", "auto,32",
+        "--neurons", "6",
+        "--jobs", "1",
+    ]
+
+    def test_clients_sweep_renders_per_client_count_tables(self, capsys, tmp_path):
+        args = self.CLIENTS_ARGS + ["--out", str(tmp_path / "clients.jsonl")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Serving sweep -- shared cache auto -- aggregate hit rate" in out
+        assert "Serving sweep -- shared cache 32 pages" in out
+        assert "per-client hit-rate std" in out
+        assert "computed 8" in out and "failed 0" in out
+
+        # The store satisfies a resume, like every other figure grid.
+        assert main(args) == 0
+        assert "resumed 8" in capsys.readouterr().out
+
+    def test_clients_sweep_hotspot_mode_and_list_cells(self, capsys, tmp_path):
+        args = self.CLIENTS_ARGS + [
+            "--contention", "hotspot",
+            "--list-cells", "--out", str(tmp_path / "c.jsonl"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out and "clients=2" in out
+
+    def test_clients_sweep_rejects_bad_values(self, tmp_path):
+        bad = [
+            ["sweep", "--figure", "clients", "--clients", "0"],
+            ["sweep", "--figure", "clients", "--clients", "two"],
+            ["sweep", "--figure", "clients", "--cache-pages", "0"],
+            ["sweep", "--figure", "clients", "--cache-pages", "many"],
+            ["sweep", "--figure", "18"],
+        ]
+        for args in bad:
             with pytest.raises(SystemExit) as excinfo:
                 main(args + ["--out", str(tmp_path / "s.jsonl")])
             assert excinfo.value.code == 2, args

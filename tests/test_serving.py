@@ -1,0 +1,232 @@
+"""Serving layer: QuerySession state machine + multi-client simulator.
+
+Two load-bearing guarantees are pinned here:
+
+* **single-client equivalence** -- the ``QuerySession`` refactor and
+  ``ServingSimulator`` with one client are *bit-identical* to the
+  classic ``SimulationEngine.run`` loop (the golden-metrics suite pins
+  the same property against the frozen fixtures);
+* **shared-cache accounting** -- under any interleaving (client count,
+  stagger, contention mode, cache size), the per-client hit/miss
+  counters partition the shared cache's own totals exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EWMAPrefetcher
+from repro.core import ScoutPrefetcher
+from repro.sim import (
+    QuerySession,
+    ServingSimulator,
+    SimulationConfig,
+    SimulationEngine,
+)
+from repro.workload import generate_sequences, multiclient_sessions
+from repro.workload.multiclient import zipf_weights
+
+
+def make_prefetcher(kind: str, tissue):
+    if kind == "scout":
+        return ScoutPrefetcher(tissue)
+    return EWMAPrefetcher(lam=0.3)
+
+
+def serve(tissue, index, *, n_clients, kind="ewma", mode="independent",
+          stagger=0, cache_pages=None, n_queries=6, seed=5, hot_pool=2):
+    clients = multiclient_sessions(
+        tissue,
+        n_clients=n_clients,
+        seed=seed,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode=mode,
+        stagger=stagger,
+        hot_pool=hot_pool,
+    )
+    config = SimulationConfig(cache_capacity_pages=cache_pages)
+    prefetchers = [make_prefetcher(kind, tissue) for _ in clients]
+    return ServingSimulator(index, config).run(clients, prefetchers)
+
+
+class TestQuerySession:
+    def test_phases_cycle_in_order(self, tissue, tissue_flat, rng):
+        sequence = generate_sequences(tissue, 1, 5, n_queries=3, volume=30_000.0)[0]
+        session = QuerySession(SimulationEngine(tissue_flat), sequence, EWMAPrefetcher())
+        phases = []
+        while not session.done:
+            phases.append(session.step())
+        assert phases == list(QuerySession.PHASES) * 3
+        assert session.step() is None
+        assert session.step_query() is None
+
+    def test_step_query_resumes_mid_query(self, tissue, tissue_flat):
+        sequence = generate_sequences(tissue, 1, 5, n_queries=2, volume=30_000.0)[0]
+        engine = SimulationEngine(tissue_flat)
+        session = QuerySession(engine, sequence, EWMAPrefetcher())
+        assert session.step() == "serve"  # stop between phases...
+        record = session.step_query()  # ...and resume to the query's end
+        assert record is session.metrics.records[0]
+        assert session.query_index == 1
+
+        reference = engine.run(sequence, EWMAPrefetcher())
+        session.step_query()
+        assert session.metrics.records == reference.records
+
+    @pytest.mark.parametrize("kind", ["ewma", "scout"])
+    def test_session_matches_engine_run(self, tissue, tissue_flat, kind):
+        sequence = generate_sequences(tissue, 1, 7, n_queries=6, volume=30_000.0)[0]
+        engine = SimulationEngine(tissue_flat)
+        via_session = QuerySession(engine, sequence, make_prefetcher(kind, tissue)).run()
+        via_run = engine.run(sequence, make_prefetcher(kind, tissue))
+        assert via_session.records == via_run.records
+
+
+class TestSingleClientEquivalence:
+    @pytest.mark.parametrize("kind", ["ewma", "scout"])
+    def test_one_client_bit_identical_to_engine(self, tissue, tissue_flat, kind):
+        """ServingSimulator(n_clients=1) reproduces SimulationEngine.run."""
+        clients = multiclient_sessions(
+            tissue, n_clients=1, seed=5, n_queries=8, volume=30_000.0
+        )
+        report = ServingSimulator(tissue_flat).run(
+            clients, [make_prefetcher(kind, tissue)]
+        )
+        reference = SimulationEngine(tissue_flat).run(
+            clients[0].sequence, make_prefetcher(kind, tissue)
+        )
+        assert report.clients[0].metrics.records == reference.records
+        assert report.to_aggregate().cache_hit_rate == reference.cache_hit_rate
+        # One client cannot cross-hit or be evicted by anyone else at
+        # the default (auto) cache size.
+        assert report.cross_client_hits == 0
+
+    def test_independent_sessions_match_single_client_sequences(self, tissue):
+        clients = multiclient_sessions(
+            tissue, n_clients=3, seed=5, n_queries=4, volume=30_000.0
+        )
+        reference = generate_sequences(
+            tissue, n_sequences=3, seed=5, n_queries=4, volume=30_000.0
+        )
+        for client, sequence in zip(clients, reference):
+            assert [q.center.tolist() for q in client.sequence.queries] == [
+                q.center.tolist() for q in sequence.queries
+            ]
+
+
+class TestSharedCacheAccounting:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n_clients=st.integers(min_value=1, max_value=4),
+        stagger=st.integers(min_value=0, max_value=3),
+        cache_pages=st.one_of(st.none(), st.integers(min_value=8, max_value=64)),
+        mode=st.sampled_from(["independent", "hotspot"]),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_client_touches_partition_cache_totals(
+        self, tissue, tissue_flat, n_clients, stagger, cache_pages, mode, seed
+    ):
+        """Per-client hits+misses sum to the shared cache's counters."""
+        report = serve(
+            tissue,
+            tissue_flat,
+            n_clients=n_clients,
+            mode=mode,
+            stagger=stagger,
+            cache_pages=cache_pages,
+            n_queries=4,
+            seed=seed,
+        )
+        assert sum(c.shared_hits for c in report.clients) == report.cache_hits
+        assert sum(c.shared_misses for c in report.clients) == report.cache_misses
+        for client in report.clients:
+            records = client.metrics.records
+            assert client.shared_hits == sum(r.pages_hit for r in records)
+            assert client.shared_misses == sum(r.pages_missed for r in records)
+            assert 0 <= client.cross_client_hits <= client.shared_hits
+            assert 0 <= client.evicted_misses <= client.shared_misses
+
+    def test_serving_run_is_deterministic(self, tissue, tissue_flat):
+        a = serve(tissue, tissue_flat, n_clients=3, mode="hotspot", stagger=1)
+        b = serve(tissue, tissue_flat, n_clients=3, mode="hotspot", stagger=1)
+        assert a.to_aggregate() == b.to_aggregate()
+        assert [c.cross_client_hits for c in a.clients] == [
+            c.cross_client_hits for c in b.clients
+        ]
+
+    def test_hotspot_clients_share_prefetched_pages(self, tissue, tissue_flat):
+        """Followers of a hot walk hit pages the leader prefetched."""
+        report = serve(
+            tissue, tissue_flat, n_clients=4, kind="scout", mode="hotspot",
+            hot_pool=1, stagger=1, n_queries=8,
+        )
+        assert report.cross_client_hits > 0
+        assert report.cross_client_hit_rate > 0.0
+
+    def test_tiny_shared_cache_induces_eviction_misses(self, tissue, tissue_flat):
+        report = serve(
+            tissue, tissue_flat, n_clients=4, kind="scout", cache_pages=12,
+            n_queries=8,
+        )
+        assert report.cache_evictions > 0
+        assert report.evicted_misses > 0
+
+    def test_report_shape(self, tissue, tissue_flat):
+        report = serve(tissue, tissue_flat, n_clients=2, n_queries=3)
+        assert report.n_clients == 2
+        assert len(report.per_client_hit_rates) == 2
+        aggregate = report.to_aggregate()
+        assert aggregate.n_sequences == 2
+        assert aggregate.per_sequence_hit_rates == report.per_client_hit_rates
+        assert 0.0 <= report.aggregate_hit_rate <= 1.0
+
+
+class TestServingValidation:
+    def test_prefetcher_count_must_match_clients(self, tissue, tissue_flat):
+        clients = multiclient_sessions(
+            tissue, n_clients=2, seed=5, n_queries=2, volume=30_000.0
+        )
+        with pytest.raises(ValueError, match="each client needs its own"):
+            ServingSimulator(tissue_flat).run(clients, [EWMAPrefetcher()])
+
+    def test_empty_client_list_rejected(self, tissue_flat):
+        with pytest.raises(ValueError, match="at least one client"):
+            ServingSimulator(tissue_flat).run([], [])
+
+
+class TestMulticlientWorkload:
+    def test_staggered_start_ticks(self, tissue):
+        clients = multiclient_sessions(
+            tissue, n_clients=3, seed=5, n_queries=2, volume=30_000.0, stagger=2
+        )
+        assert [c.start_tick for c in clients] == [0, 2, 4]
+        assert [c.client_id for c in clients] == [0, 1, 2]
+
+    def test_hotspot_draws_from_pool(self, tissue):
+        clients = multiclient_sessions(
+            tissue, n_clients=6, seed=5, n_queries=2, volume=30_000.0,
+            mode="hotspot", hot_pool=2,
+        )
+        distinct = {id(c.sequence) for c in clients}
+        assert len(distinct) <= 2  # at most the pool size
+        assert len(clients) == 6
+
+    def test_zipf_weights_normalized_and_skewed(self):
+        weights = zipf_weights(5, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.5)
+
+    def test_rejects_bad_arguments(self, tissue):
+        with pytest.raises(ValueError, match="n_clients"):
+            multiclient_sessions(tissue, 0, 5, n_queries=2, volume=30_000.0)
+        with pytest.raises(ValueError, match="stagger"):
+            multiclient_sessions(tissue, 1, 5, n_queries=2, volume=30_000.0, stagger=-1)
+        with pytest.raises(ValueError, match="unknown mode"):
+            multiclient_sessions(tissue, 1, 5, n_queries=2, volume=30_000.0, mode="flood")
