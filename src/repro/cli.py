@@ -50,9 +50,11 @@ non-zero when throughput regresses past the checked-in floors.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.quickstart import quick_experiment
+from repro.sim.serve import LOCKSTEP_ENV
 from repro.workload import MICROBENCHMARKS
 
 __all__ = ["main"]
@@ -186,6 +188,13 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         default="independent",
         help="serving workload regime: independent walks per client, or "
         "Zipf-skewed hot-region sharing (--figure clients only)",
+    )
+    parser.add_argument(
+        "--lockstep",
+        action="store_true",
+        help="serve each cell's clients with the vectorized lockstep "
+        "scheduler (bit-identical metrics, much faster for large "
+        "fleets; --figure clients only)",
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument(
@@ -566,9 +575,19 @@ def _sweep_command(argv: list[str]) -> int:
             parser.error(
                 f"--contention applies to --figure clients, not --figure {args.figure}"
             )
+        if args.lockstep:
+            parser.error(
+                f"--lockstep applies to --figure clients, not --figure {args.figure}"
+            )
     elif args.sequences is not None:
         parser.error("--sequences does not apply to --figure clients "
                      "(each client runs one session; vary --clients instead)")
+    if args.lockstep:
+        # Environment toggle (like REPRO_SCALE) so sweep worker
+        # processes inherit the scheduler choice; results are
+        # bit-identical either way, so stores and cell keys are
+        # unaffected.
+        os.environ[LOCKSTEP_ENV] = "1"
     figure_stem = "clients" if args.figure == "clients" else f"fig{args.figure}"
     out = args.out if args.out is not None else f"results/{figure_stem}_sweep.jsonl"
 

@@ -2,7 +2,7 @@
 
 Times the system's hot paths and writes one ``BENCH_<rev>.json`` per
 git revision, so the repository accumulates a measured performance
-trajectory alongside its correctness tests.  Four suites:
+trajectory alongside its correctness tests.  Five suites:
 
 * **index_build** -- bulk-load time of the three index types, plus the
   scalar-path FLAT build (whose adjacency preprocessing runs the
@@ -17,7 +17,11 @@ trajectory alongside its correctness tests.  Four suites:
 * **fig13a** -- wall-clock of a small Fig-13 panel-a sweep (jobs=1),
   simulated once over the vectorized index and once over the scalar
   reference index, with the metrics of both runs required to be
-  bit-identical.
+  bit-identical;
+* **serving** -- multi-client serving throughput: a Zipf-hotspot fleet
+  stepped once by the reference round-robin scheduler and once by the
+  vectorized lockstep scheduler, with both full serve reports required
+  to be bit-identical before any timing counts.
 
 Every suite compares against the scalar reference implementations kept
 in :mod:`repro.index.scalar_ref` and
@@ -43,6 +47,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.baselines import EWMAPrefetcher
 from repro.core import ScoutConfig, ScoutPrefetcher
 from repro.datagen import make_neuron_tissue
 from repro.geometry.aabb import AABB
@@ -50,6 +55,8 @@ from repro.graph.traversal import region_crossings, region_crossings_reference
 from repro.index import FlatIndex, GridIndex, STRTree
 from repro.index.scalar_ref import ScalarFlatIndex
 from repro.sim import run_experiment
+from repro.sim.serve import ServingSimulator
+from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
 
 __all__ = ["BENCH_SCHEMA", "BenchReport", "check_budget", "render_report", "run_bench"]
@@ -263,16 +270,67 @@ def bench_fig13a(dataset, fanout: int, volumes: list[float], n_sequences: int, n
     }
 
 
+def bench_serving(dataset, index, n_clients: int, n_queries: int, repeats: int) -> dict[str, Any]:
+    """Lockstep vs round-robin serving throughput on a hotspot fleet.
+
+    ``n_clients`` EWMA sessions follow a Zipf-popular pool of eight hot
+    walks through one shared cache -- the contention regime the serving
+    layer exists for.  The fleet, index and workload are built outside
+    the timed region; each timed run gets fresh prefetcher state.  The
+    two schedulers' full :class:`~repro.sim.metrics.ServeReport`\\ s
+    (every per-query record, every contention counter) must compare
+    equal *before* any timing counts -- a speedup over a divergent
+    computation would be meaningless.
+    """
+    clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=21,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode="hotspot",
+        stagger=0,
+        hot_pool=8,
+    )
+    sim = ServingSimulator(index)
+
+    def fleet():
+        return [EWMAPrefetcher(lam=0.3) for _ in clients]
+
+    reference = sim.run(clients, fleet(), lockstep=False)
+    vectorized = sim.run(clients, fleet(), lockstep=True)
+    if asdict(reference) != asdict(vectorized):
+        raise AssertionError("round-robin and lockstep serve reports diverged")
+
+    rr_s = _best_of(lambda: sim.run(clients, fleet(), lockstep=False), repeats)
+    ls_s = _best_of(lambda: sim.run(clients, fleet(), lockstep=True), repeats)
+    n_total = n_clients * n_queries
+    return {
+        "n_clients": n_clients,
+        "n_queries_per_client": n_queries,
+        "mode": "hotspot",
+        "hot_pool": 8,
+        "round_robin_seconds": rr_s,
+        "lockstep_seconds": ls_s,
+        "round_robin_qps": n_total / rr_s,
+        "lockstep_qps": n_total / ls_s,
+        "lockstep_speedup": rr_s / ls_s,
+        "reports_bit_identical": True,
+    }
+
+
 def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     """Run every suite and assemble the report (does not write it)."""
     if quick:
         n_neurons, fanout = 16, 16
         n_probes, repeats = 200, 2
         volumes, n_sequences, n_queries = [10_000.0, 80_000.0], 2, 10
+        n_serve_clients = 64
     else:
         n_neurons, fanout = 40, 16
         n_probes, repeats = 1000, 3
         volumes, n_sequences, n_queries = [10_000.0, 45_000.0, 80_000.0, 115_000.0], 4, 25
+        n_serve_clients = 256
 
     dataset = make_neuron_tissue(n_neurons=n_neurons, seed=7)
     index = FlatIndex(dataset, fanout=fanout)
@@ -282,6 +340,9 @@ def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     report.results["region_query"] = bench_region_query(dataset, fanout, n_probes, repeats)
     report.results["prediction"] = bench_prediction(dataset, index, min(n_queries, 15), repeats)
     report.results["fig13a"] = bench_fig13a(dataset, fanout, volumes, n_sequences, n_queries)
+    report.results["serving"] = bench_serving(
+        dataset, index, n_serve_clients, n_queries=8, repeats=repeats
+    )
     return report
 
 
@@ -296,6 +357,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
     budget = json.loads(Path(budget_path).read_text())
     tolerance = float(budget.get("tolerance", 0.30))
     region = report.results.get("region_query", {})
+    serving = report.results.get("serving", {})
     measured = {
         # Speedup ratios are the primary gates: scalar baseline and
         # vectorized path run on the same machine in the same bench, so
@@ -305,6 +367,8 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
         "region_query_single_speedup": region.get("single_speedup", 0.0),
         "region_query_batched_qps": region.get("vector_batched_qps", 0.0),
         "region_query_single_qps": region.get("vector_single_qps", 0.0),
+        "serving_lockstep_speedup": serving.get("lockstep_speedup", 0.0),
+        "serving_lockstep_qps": serving.get("lockstep_qps", 0.0),
     }
     failures = []
     for name, floor in budget.get("floors", {}).items():
@@ -352,5 +416,13 @@ def render_report(report: BenchReport) -> str:
             f"fig13a sweep   : vector {f['vector_seconds']:.2f}s  "
             f"scalar {f['scalar_seconds']:.2f}s  ({f['sweep_speedup']:.1f}x, "
             f"metrics bit-identical)"
+        )
+    if "serving" in r:
+        s = r["serving"]
+        lines.append(
+            f"serving        : {s['n_clients']} clients  "
+            f"lockstep {s['lockstep_qps']:,.0f} q/s  "
+            f"round-robin {s['round_robin_qps']:,.0f} q/s  "
+            f"({s['lockstep_speedup']:.1f}x, reports bit-identical)"
         )
     return "\n".join(lines)

@@ -37,11 +37,89 @@ from repro.baselines.base import ObservedQuery, Prefetcher, PrefetchTarget
 from repro.geometry.aabb import AABB
 from repro.index.base import SpatialIndex
 from repro.sim.metrics import QueryRecord, SequenceMetrics
-from repro.storage.cache import PrefetchCache
+from repro.storage.cache import ArrayCache, PrefetchCache
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.workload.sequence import QuerySequence
 
 __all__ = ["QuerySession", "SimulationConfig", "SimulationEngine"]
+
+
+class _SharedProbeStream:
+    """Memoized (region, page_ids) list over one target's region iterator.
+
+    Plan-sharing groups (see :mod:`repro.sim.serve`) execute the *same*
+    plan against different per-client budgets and cache states: each
+    member consumes a prefix of the target's probe sequence, the prefix
+    length depending on its own spending.  The stream resolves regions
+    through the batched index API a chunk at a time -- the exact
+    :class:`_BatchedProbes` schedule -- and memoizes, so the group pays
+    for each index lookup once while every member sees the identical
+    per-region page sets it would have computed alone (probe resolution
+    is pure: region in, pages out).
+    """
+
+    def __init__(self, index, regions, chunk: int = 8) -> None:
+        self._index = index
+        self._regions = iter(regions)
+        self._chunk = max(1, int(chunk))
+        self._resolved: list = []
+        self._exhausted = False
+
+    def get(self, position: int):
+        """The (region, page_ids) pair at ``position``, or ``None`` past the end."""
+        while not self._exhausted and position >= len(self._resolved):
+            batch = list(islice(self._regions, self._chunk))
+            if not batch:
+                self._exhausted = True
+                break
+            self._resolved.extend(zip(batch, self._index.pages_for_regions(batch)))
+        if position < len(self._resolved):
+            return self._resolved[position]
+        return None
+
+    def view(self) -> "_ProbeCursor":
+        """An independent cursor over the shared stream."""
+        return _ProbeCursor(self)
+
+
+class _ProbeCursor:
+    """One consumer's position in a :class:`_SharedProbeStream`."""
+
+    def __init__(self, stream: _SharedProbeStream) -> None:
+        self._stream = stream
+        self._position = 0
+
+    def next(self):
+        item = self._stream.get(self._position)
+        if item is not None:
+            self._position += 1
+        return item
+
+
+@dataclass
+class _QueryBundle:
+    """The pure (cache- and disk-independent) work of one query.
+
+    Captured by a plan-sharing group's leader and replayed by its
+    followers (:meth:`QuerySession.step_query_capture` /
+    :meth:`QuerySession.step_query_replay`).  Everything here is a pure
+    function of the shared sequence and the (bitwise-identical)
+    prefetcher state, so replaying it is exactly the computation the
+    follower would have done itself; all cache touches, disk reads and
+    budget spending stay per-client.
+    """
+
+    cursor: int
+    result: object = None
+    pages: object = None
+    object_pages: object = None
+    cold: float = 0.0
+    prediction_cost: float = 0.0
+    build_cost: float = 0.0
+    gap_pages: list = field(default_factory=list)
+    targets: object = None
+    streams: object = None
+    n_candidates: int = 0
 
 
 @dataclass(frozen=True)
@@ -160,6 +238,7 @@ class SimulationEngine:
         disk: DiskModel,
         budget: float,
         owner: int | None = None,
+        probes: list | None = None,
     ) -> tuple[int, float]:
         """Spend the window on the plan; returns (pages read, seconds).
 
@@ -185,17 +264,21 @@ class SimulationEngine:
         Region page probes are resolved through the index's batched API
         a chunk at a time (:class:`_BatchedProbes`); the spending loop
         below is unchanged and sees identical per-region page sets.
+        ``probes`` overrides the per-target probe sources (one object
+        with a ``next()`` method per target) so plan-sharing groups can
+        feed every member the same memoized :class:`_SharedProbeStream`.
         """
         if not targets:
             return 0, 0.0
-        side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
+        if probes is None:
+            side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
+            probes = [
+                _BatchedProbes(self.index, self._incremental_regions(t, side))
+                for t in targets
+            ]
         states = [
-            {
-                "share": t.share,
-                "probes": _BatchedProbes(self.index, self._incremental_regions(t, side)),
-                "done": False,
-            }
-            for t in targets
+            {"share": t.share, "probes": p, "done": False}
+            for t, p in zip(targets, probes)
         ]
 
         pages_read = 0
@@ -221,12 +304,7 @@ class SimulationEngine:
                         break
                     advanced = True
                     _, probe_pages = probe
-                    batch = []
-                    for page in probe_pages:
-                        page = int(page)
-                        if page in cache:
-                            continue
-                        batch.append(page)
+                    batch = cache.missing_many(probe_pages)
                     if not batch:
                         continue
                     batch = disk.trim_to_budget(batch, remaining)
@@ -280,7 +358,7 @@ class QuerySession:
         sequence: QuerySequence,
         prefetcher: Prefetcher,
         *,
-        cache: PrefetchCache | None = None,
+        cache: PrefetchCache | ArrayCache | None = None,
         disk: DiskModel | None = None,
         client_id: int | None = None,
     ) -> None:
@@ -297,6 +375,12 @@ class QuerySession:
         self.phase = "serve"
         self._cursor = 0
         self._ctx: dict = {}
+        # Lockstep serving hooks: a pre-resolved index result for the
+        # current query (from a batched query_many pass), and the
+        # plan-sharing bundle being captured or replayed.
+        self._injected_result = None
+        self._bundle_in: _QueryBundle | None = None
+        self._bundle_out: _QueryBundle | None = None
         # Shared-cache accounting: this session's page touches, and the
         # contention-attributed subsets (see DESIGN.md §6).
         self.shared_hits = 0
@@ -353,77 +437,184 @@ class QuerySession:
             self.step_query()
         return self.metrics
 
+    # -- lockstep serving hooks -------------------------------------------------------
+
+    def prime_result(self, result) -> None:
+        """Provide the current query's index result ahead of ``serve``.
+
+        The lockstep scheduler resolves every active session's query in
+        one batched ``query_many`` pass at tick start; ``_phase_serve``
+        consumes the injected result instead of re-querying.  The
+        batched API is element-wise identical to per-query calls, so
+        this changes where the lookup happens, never what it returns.
+        """
+        self._injected_result = result
+
+    def step_query_capture(self) -> "_QueryBundle | None":
+        """Advance one query, capturing its pure work for group replay.
+
+        Called on a plan-sharing group's *leader*; the returned bundle
+        holds everything about this query that does not depend on cache
+        or disk state (index result, cold cost, prediction costs, plan
+        targets with shared probe streams), for the group's followers to
+        replay via :meth:`step_query_replay`.
+        """
+        if self.done:
+            return None
+        bundle = _QueryBundle(cursor=self._cursor)
+        self._bundle_out = bundle
+        try:
+            self.step_query()
+        finally:
+            self._bundle_out = None
+        return bundle
+
+    def step_query_replay(self, bundle: "_QueryBundle") -> QueryRecord | None:
+        """Advance one query, replaying a leader's captured pure work.
+
+        Only valid when this session is bitwise-identical to the
+        leader in its pure computations (same sequence object, same
+        start tick, same prefetcher kind -- the scheduler's grouping
+        invariant): the observe/plan phases are skipped entirely, so
+        this session's prefetcher state goes stale and must never be
+        consulted again.  Cache touches, disk reads and budget spending
+        all still happen here, per-client, in scheduler order.
+        """
+        if self.done:
+            return None
+        if bundle.cursor != self._cursor:
+            raise ValueError(
+                f"bundle for query {bundle.cursor} replayed at cursor {self._cursor}"
+            )
+        self._bundle_in = bundle
+        try:
+            return self.step_query()
+        finally:
+            self._bundle_in = None
+
     # -- the four phases --------------------------------------------------------------
 
     def _phase_serve(self) -> None:
         query = self.sequence.queries[self._cursor]
-        result = self.engine.index.query(query.bounds)
-        pages = [int(p) for p in result.page_ids]
+        bundle_in, bundle_out = self._bundle_in, self._bundle_out
+        if bundle_in is not None:
+            result = bundle_in.result
+            pages = bundle_in.pages
+            object_pages = bundle_in.object_pages
+        else:
+            result = self._injected_result
+            self._injected_result = None
+            if result is None:
+                result = self.engine.index.query(query.bounds)
+            pages = np.asarray(result.page_ids, dtype=np.int64).ravel()
+            object_pages = np.asarray(
+                self.engine.index.page_table.page_ids_of_objects(result.object_ids),
+                dtype=np.int64,
+            ).ravel()
+            if bundle_out is not None:
+                bundle_out.result = result
+                bundle_out.pages = pages
+                bundle_out.object_pages = object_pages
 
         # Pages in the prefetch cache are hits; the rest is residual
         # I/O.  Result pages do NOT enter the prefetch cache -- the
         # cache holds prefetched data only ("percentage of data read
         # from the prefetch cache rather than from disk", §3.3).
+        # touch never inserts, so membership is invariant across the
+        # batch and the hit mask's complement is exactly the miss set.
         cache = self.cache
-        hits = [p for p in pages if cache.touch(p)]
-        hit_set = set(hits)
-        misses = [p for p in pages if p not in cache]
-        residual = self.disk.read_pages(misses)
+        hit_mask = cache.touch_many(pages)
+        hit_pages = pages[hit_mask]
+        miss_pages = pages[~hit_mask]
+        residual = self.disk.read_pages(miss_pages)
 
-        self.shared_hits += len(hits)
-        self.shared_misses += len(pages) - len(hits)
+        n_hits = int(hit_pages.size)
+        self.shared_hits += n_hits
+        self.shared_misses += int(miss_pages.size)
         if self.client_id is not None:
-            self.cross_client_hits += sum(
-                1 for p in hits if cache.owner_of(p) != self.client_id
-            )
-            self.evicted_misses += sum(1 for p in misses if cache.was_evicted(p))
+            owners = cache.owners_many(hit_pages)
+            self.cross_client_hits += int(np.count_nonzero(owners != self.client_id))
+            self.evicted_misses += int(np.count_nonzero(cache.evicted_many(miss_pages)))
 
         # Data-level hit accounting (§3.3): an object is served from
-        # the cache when its page was prefetched.
-        object_pages = self.engine.index.page_table.page_ids_of_objects(result.object_ids)
-        objects_hit = int(sum(1 for p in object_pages if int(p) in hit_set))
+        # the cache when its page was prefetched.  Every object page is
+        # in the covering set ``pages``, so a dense hit table over that
+        # range replaces np.isin's sort path exactly.
+        if n_hits == 0 or object_pages.size == 0:
+            objects_hit = 0
+        else:
+            lo = int(pages.min())
+            hit_table = np.zeros(int(pages.max()) - lo + 1, dtype=bool)
+            hit_table[hit_pages - lo] = True
+            objects_hit = int(np.count_nonzero(hit_table[object_pages - lo]))
 
         self._ctx = {
             "query": query,
             "result": result,
             "pages": pages,
-            "n_hits": len(hits),
+            "n_hits": n_hits,
             "residual": residual,
             "objects_hit": objects_hit,
         }
 
     def _phase_window(self) -> None:
         ctx = self._ctx
-        ctx["cold"] = self.disk.cost_if_cold(ctx["pages"])
+        bundle_in, bundle_out = self._bundle_in, self._bundle_out
+        if bundle_in is not None:
+            ctx["cold"] = bundle_in.cold
+        else:
+            ctx["cold"] = self.disk.cost_if_cold(ctx["pages"])
+            if bundle_out is not None:
+                bundle_out.cold = ctx["cold"]
         ctx["window"] = self.sequence.window_ratio * ctx["cold"]
 
     def _phase_predict(self) -> None:
         ctx = self._ctx
-        self.prefetcher.observe(
-            ObservedQuery(
-                index=self._cursor,
-                bounds=ctx["query"].bounds,
-                result_object_ids=ctx["result"].object_ids,
+        bundle_in, bundle_out = self._bundle_in, self._bundle_out
+        if bundle_in is not None:
+            # Replay: the leader's prefetcher state is bitwise-identical
+            # to what this session's would have been, so its costs are
+            # this session's costs; observe() is skipped outright.
+            ctx["prediction_cost"] = bundle_in.prediction_cost
+            ctx["build_cost"] = bundle_in.build_cost
+        else:
+            self.prefetcher.observe(
+                ObservedQuery(
+                    index=self._cursor,
+                    bounds=ctx["query"].bounds,
+                    result_object_ids=ctx["result"].object_ids,
+                )
             )
-        )
-        ctx["prediction_cost"] = self.prefetcher.prediction_cost_seconds()
-        ctx["build_cost"] = self.prefetcher.graph_build_cost_seconds()
+            ctx["prediction_cost"] = self.prefetcher.prediction_cost_seconds()
+            ctx["build_cost"] = self.prefetcher.graph_build_cost_seconds()
+            if bundle_out is not None:
+                bundle_out.prediction_cost = ctx["prediction_cost"]
+                bundle_out.build_cost = ctx["build_cost"]
         ctx["budget"] = ctx["window"] - ctx["prediction_cost"]
 
     def _phase_prefetch(self) -> None:
         ctx = self._ctx
         cache, disk = self.cache, self.disk
         budget = ctx["budget"]
+        bundle_in, bundle_out = self._bundle_in, self._bundle_out
 
         prefetch_pages = 0
         prefetch_seconds = 0.0
         gap_pages_used = 0
 
-        # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).
-        for page in self.prefetcher.gap_io_pages():
+        # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).  Replay
+        # iterates the leader's captured pull sequence; the scheduler
+        # only shares plans for gap-free prefetchers, so leader and
+        # follower always pull the same (empty) prefix.
+        gap_source = (
+            bundle_in.gap_pages if bundle_in is not None else self.prefetcher.gap_io_pages()
+        )
+        for page in gap_source:
             if budget <= 0:
                 break
             gap_pages_used += 1
+            if bundle_out is not None:
+                bundle_out.gap_pages.append(page)
             if page in cache:
                 continue
             cost = disk.read_pages([page])
@@ -431,13 +622,47 @@ class QuerySession:
             prefetch_seconds += cost
             cache.insert(page, self.client_id)
 
-        # Execute the plan within the remaining window.
+        # Execute the plan within the remaining window.  Group members
+        # enter with identical budgets (pure inputs), so the leader's
+        # planned/not-planned decision is every member's decision; each
+        # member still spends its own budget against its own view of
+        # the shared cache, consuming its own prefix of the shared
+        # probe streams.
         if budget > 0:
+            if bundle_in is not None:
+                targets = bundle_in.targets
+                probes = (
+                    [s.view() for s in bundle_in.streams]
+                    if bundle_in.streams is not None
+                    else None
+                )
+            else:
+                targets = self.prefetcher.plan()
+                probes = None
+                if bundle_out is not None:
+                    bundle_out.targets = targets
+                    if targets:
+                        side = float(np.cbrt(max(ctx["query"].bounds.volume, 1e-30)))
+                        bundle_out.streams = [
+                            _SharedProbeStream(
+                                self.engine.index,
+                                self.engine._incremental_regions(t, side),
+                            )
+                            for t in targets
+                        ]
+                        probes = [s.view() for s in bundle_out.streams]
             used = self.engine._execute_plan(
-                self.prefetcher.plan(), ctx["query"], cache, disk, budget, self.client_id
+                targets, ctx["query"], cache, disk, budget, self.client_id, probes=probes
             )
             prefetch_pages += used[0]
             prefetch_seconds += used[1]
+
+        if bundle_in is not None:
+            n_candidates = bundle_in.n_candidates
+        else:
+            n_candidates = getattr(self.prefetcher, "n_candidates", 0)
+            if bundle_out is not None:
+                bundle_out.n_candidates = n_candidates
 
         result = ctx["result"]
         self.metrics.records.append(
@@ -456,7 +681,7 @@ class QuerySession:
                 prefetch_seconds=prefetch_seconds,
                 gap_io_pages=gap_pages_used,
                 n_result_objects=result.n_objects,
-                n_candidates=getattr(self.prefetcher, "n_candidates", 0),
+                n_candidates=n_candidates,
             )
         )
         self._ctx = {}

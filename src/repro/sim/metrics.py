@@ -19,7 +19,7 @@ aggregate hit rates plus the cache-level contention statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -141,7 +141,14 @@ class SequenceMetrics:
 
 @dataclass
 class AggregateMetrics:
-    """Metrics pooled over several sequences of one experiment cell."""
+    """Metrics pooled over several sequences of one experiment cell.
+
+    The two trailing contention counters only apply to serving cells
+    (many clients on one shared cache); single-client cells leave them
+    ``None`` and persist without them, so pre-serving stored records
+    stay byte-identical (additive keys only -- see
+    :func:`repro.sim.results.metrics_to_dict`).
+    """
 
     n_sequences: int
     cache_hit_rate: float
@@ -152,6 +159,8 @@ class AggregateMetrics:
     graph_build_seconds: float
     prediction_seconds: float
     per_sequence_hit_rates: list[float]
+    cross_client_hits: int | None = None
+    evicted_misses: int | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -245,9 +254,17 @@ class ServeReport:
         Each client counts as one "sequence" of the aggregate, so
         ``per_sequence_hit_rates`` carries the per-client hit rates into
         the result store unchanged -- serving cells persist through the
-        same schema as single-client cells.
+        same schema as single-client cells.  The contention counters
+        (``cross_client_hits``, ``evicted_misses``) ride along as
+        additive keys, so a stored serving cell keeps the numbers that
+        distinguish sharing wins from eviction pressure.
         """
-        return aggregate([client.metrics for client in self.clients])
+        pooled = aggregate([client.metrics for client in self.clients])
+        return replace(
+            pooled,
+            cross_client_hits=self.cross_client_hits,
+            evicted_misses=self.evicted_misses,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

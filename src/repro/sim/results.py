@@ -117,9 +117,13 @@ def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
 
     An infinite speedup (zero residual I/O) is stored as ``null``;
     :func:`metrics_from_dict` restores it.
+
+    The serving-only contention counters are *additive keys*: present
+    only when set (serving cells), so records of single-client cells --
+    and therefore existing stores -- stay byte-identical.
     """
     speedup = metrics.speedup
-    return {
+    data = {
         "n_sequences": metrics.n_sequences,
         "cache_hit_rate": metrics.cache_hit_rate,
         "hit_rate_std": metrics.hit_rate_std,
@@ -130,6 +134,11 @@ def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
         "prediction_seconds": metrics.prediction_seconds,
         "per_sequence_hit_rates": list(metrics.per_sequence_hit_rates),
     }
+    if metrics.cross_client_hits is not None:
+        data["cross_client_hits"] = int(metrics.cross_client_hits)
+    if metrics.evicted_misses is not None:
+        data["evicted_misses"] = int(metrics.evicted_misses)
+    return data
 
 
 def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
@@ -145,6 +154,12 @@ def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
         graph_build_seconds=float(data["graph_build_seconds"]),
         prediction_seconds=float(data["prediction_seconds"]),
         per_sequence_hit_rates=[float(r) for r in data["per_sequence_hit_rates"]],
+        cross_client_hits=(
+            None if data.get("cross_client_hits") is None else int(data["cross_client_hits"])
+        ),
+        evicted_misses=(
+            None if data.get("evicted_misses") is None else int(data["evicted_misses"])
+        ),
     )
 
 

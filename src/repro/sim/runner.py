@@ -580,7 +580,12 @@ def prepare_serving_cell(spec: CellSpec):
     return index, clients, prefetchers, _sim_config(spec.sim)
 
 
-def run_serving_cell(spec: CellSpec) -> tuple[CellResult, "ServeReport"]:
+def run_serving_cell(
+    spec: CellSpec,
+    *,
+    lockstep: bool | None = None,
+    cache_backend: str | None = None,
+) -> tuple[CellResult, "ServeReport"]:
     """Execute one multi-client serving cell; (result, full serve report).
 
     The persisted :class:`CellResult` carries the pooled
@@ -589,12 +594,20 @@ def run_serving_cell(spec: CellSpec) -> tuple[CellResult, "ServeReport"]:
     through the ordinary result-store schema; the richer
     :class:`~repro.sim.metrics.ServeReport` (contention counters) is
     returned alongside for callers that hold the live object.
+
+    ``lockstep`` selects the vectorized scheduler (``None`` defers to
+    the ``REPRO_SERVE_LOCKSTEP`` environment toggle, which the CLI's
+    ``--lockstep`` flag sets and sweep worker processes inherit, like
+    ``REPRO_SCALE``).  Reports are bit-identical either way, so cell
+    keys and stored results are scheduler-agnostic.
     """
     from repro.sim.serve import ServingSimulator
 
     started = time.perf_counter()
     index, clients, prefetchers, config = prepare_serving_cell(spec)
-    report = ServingSimulator(index, config).run(clients, prefetchers)
+    report = ServingSimulator(index, config).run(
+        clients, prefetchers, lockstep=lockstep, cache_backend=cache_backend
+    )
     result = CellResult(
         key=spec.key(),
         spec=spec.to_dict(),

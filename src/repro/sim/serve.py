@@ -9,13 +9,30 @@ pressure that decides whether prefetching still pays off at scale
 * every client is a :class:`~repro.sim.engine.QuerySession` -- the same
   resumable state machine the single-client engine drives -- so serving
   changes *scheduling*, never per-query semantics;
-* all sessions share one :class:`~repro.storage.cache.PrefetchCache`
-  and one :class:`~repro.storage.disk.DiskModel`; prefetched pages are
+* all sessions share one prefetch cache and one
+  :class:`~repro.storage.disk.DiskModel`; prefetched pages are
   owner-tagged, so hits can be attributed across clients and misses to
   eviction pressure;
 * scheduling is deterministic round-robin at query granularity: each
   tick, every live (started, unfinished) client executes its next query
   in client order.  ``start_tick`` staggering delays arrivals.
+
+Two schedulers produce **bit-identical reports** (pinned by
+``tests/test_serving_lockstep.py``):
+
+``round_robin`` (default)
+    the reference loop above -- one client's full query at a time;
+``lockstep``
+    the vectorized plane for large fleets.  Each tick resolves every
+    active client's query in one batched ``query_many`` pass, runs the
+    sessions over an array-backed shared cache
+    (:class:`~repro.storage.cache.ArrayCache`), and -- when every
+    client runs the same position-only prefetcher -- lets clients that
+    share a hot sequence replay their group leader's pure work (index
+    result, prediction, plan with memoized probe streams) instead of
+    recomputing it.  Only *pure* work is ever hoisted or shared; every
+    cache touch, disk read and budget decision still executes in exact
+    client order, which is why the reports match bit for bit.
 
 With one client the shared cache and disk degenerate to private ones,
 so ``ServingSimulator`` over a single session is bit-identical to
@@ -25,17 +42,47 @@ property suite in ``tests/test_serving.py``.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
-from repro.baselines.base import Prefetcher
+from repro.baselines.base import PositionOnlyPrefetcher, Prefetcher
 from repro.index.base import SpatialIndex
 from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
 from repro.sim.metrics import ClientMetrics, ServeReport
-from repro.storage.cache import PrefetchCache
+from repro.storage.cache import make_cache
 from repro.storage.disk import DiskModel
 from repro.workload.multiclient import ClientWorkload
 
-__all__ = ["ServingSimulator"]
+__all__ = ["ServingSimulator", "lockstep_from_env"]
+
+#: Environment toggle for the lockstep scheduler (inherits into sweep
+#: worker processes, like ``REPRO_SCALE``); set by the CLI's
+#: ``--lockstep`` flag.
+LOCKSTEP_ENV = "REPRO_SERVE_LOCKSTEP"
+
+
+def lockstep_from_env() -> bool:
+    """Whether the ``REPRO_SERVE_LOCKSTEP`` toggle is on."""
+    return os.environ.get(LOCKSTEP_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def _plans_shareable(prefetchers: Sequence[Prefetcher]) -> bool:
+    """Whether every client's prefetcher admits leader/follower sharing.
+
+    Sharing replays the leader's observe/plan work, so it is only sound
+    for prefetchers whose per-query work is a pure function of the
+    observed sequence: the position-only family (their plans derive
+    from observed centers alone, and they issue no gap I/O whose pulls
+    could depend on cache state).  All clients must run the same
+    configuration (type and name -- the name encodes the parameters) so
+    that identical observations imply identical predictions.
+    """
+    first = prefetchers[0]
+    if not isinstance(first, PositionOnlyPrefetcher):
+        return False
+    return all(
+        type(p) is type(first) and p.name == first.name for p in prefetchers
+    )
 
 
 class ServingSimulator:
@@ -50,13 +97,28 @@ class ServingSimulator:
         self,
         clients: Sequence[ClientWorkload],
         prefetchers: Sequence[Prefetcher],
+        *,
+        lockstep: bool | None = None,
+        cache_backend: str | None = None,
+        share_plans: bool | None = None,
     ) -> ServeReport:
         """Serve every client to completion; returns the pooled report.
 
         ``prefetchers`` is parallel to ``clients``: each client owns its
         prefetcher instance (prediction state is per-user), while cache
         and disk are shared.  Deterministic: same clients + prefetchers
-        in, same report out, regardless of wall-clock.
+        in, same report out, regardless of wall-clock or scheduler.
+
+        ``lockstep`` selects the vectorized scheduler (``None`` reads
+        the ``REPRO_SERVE_LOCKSTEP`` environment toggle); the report is
+        bit-identical either way.  ``cache_backend`` picks the shared
+        cache implementation (``"dict"`` or ``"array"``; ``None`` keeps
+        the dict cache for round-robin and the array cache for
+        lockstep).  ``share_plans`` controls leader/follower plan
+        sharing under lockstep: ``None`` enables it automatically when
+        every client runs the same position-only prefetcher, ``False``
+        disables it, ``True`` insists on it (raising if the prefetcher
+        fleet cannot share soundly).
         """
         clients = list(clients)
         if not clients:
@@ -66,7 +128,11 @@ class ServingSimulator:
                 f"got {len(prefetchers)} prefetchers for {len(clients)} clients; "
                 "each client needs its own instance"
             )
-        cache = PrefetchCache(self.config.cache_capacity_for(self.index))
+        if lockstep is None:
+            lockstep = lockstep_from_env()
+        if cache_backend is None:
+            cache_backend = "array" if lockstep else "dict"
+        cache = make_cache(cache_backend, self.config.cache_capacity_for(self.index))
         disk = DiskModel(self.config.disk)
         sessions = [
             QuerySession(
@@ -80,21 +146,12 @@ class ServingSimulator:
             for client, prefetcher in zip(clients, prefetchers)
         ]
 
-        tick = 0
-        while True:
-            advanced = False
-            waiting = False
-            for client, session in zip(clients, sessions):
-                if session.done:
-                    continue
-                if client.start_tick > tick:
-                    waiting = True
-                    continue
-                session.step_query()
-                advanced = True
-            if not advanced and not waiting:
-                break
-            tick += 1
+        if lockstep:
+            n_ticks = self._run_lockstep(clients, sessions, prefetchers, share_plans)
+        else:
+            if share_plans:
+                raise ValueError("share_plans requires the lockstep scheduler")
+            n_ticks = self._run_round_robin(clients, sessions)
 
         return ServeReport(
             clients=[
@@ -113,5 +170,100 @@ class ServingSimulator:
             cache_misses=cache.misses,
             cache_evictions=cache.evictions,
             cache_insertions=cache.insertions,
-            n_ticks=tick,
+            n_ticks=n_ticks,
         )
+
+    # -- schedulers -----------------------------------------------------------
+
+    def _run_round_robin(self, clients, sessions) -> int:
+        """The reference loop: one client's full query at a time."""
+        tick = 0
+        while True:
+            advanced = False
+            waiting = False
+            for client, session in zip(clients, sessions):
+                if session.done:
+                    continue
+                if client.start_tick > tick:
+                    waiting = True
+                    continue
+                session.step_query()
+                advanced = True
+            if not advanced and not waiting:
+                break
+            tick += 1
+        return tick
+
+    def _run_lockstep(self, clients, sessions, prefetchers, share_plans) -> int:
+        """The vectorized plane: batch the tick's pure work, then step.
+
+        Per tick: (1) resolve every active session's current query in
+        one batched ``query_many`` pass and inject the results; (2) step
+        every active session's full query *in client order* -- all cache
+        and disk mutations happen here, exactly as round-robin
+        interleaves them.  Plan-sharing groups (clients on the same
+        sequence object with the same start tick, eligible prefetchers)
+        additionally skip recomputing the leader's pure work: every
+        active group member advances exactly one query per tick, so
+        members stay bitwise-identical in their pure computations for
+        the whole run and the leader's capture *is* the follower's own
+        computation.
+        """
+        sharing = (
+            _plans_shareable(prefetchers) if share_plans in (None, True) else False
+        )
+        if share_plans is True and not sharing:
+            raise ValueError(
+                "share_plans=True needs every client on the same "
+                "position-only prefetcher configuration"
+            )
+
+        # Static sharing groups: same sequence object + same start tick
+        # (hotspot workloads share sequence objects across followers).
+        leader_of: dict[int, int] = {}
+        group_size: dict[int, int] = {}
+        if sharing:
+            first_with_key: dict[tuple[int, int], int] = {}
+            for i, client in enumerate(clients):
+                key = (id(client.sequence), client.start_tick)
+                leader = first_with_key.setdefault(key, i)
+                leader_of[i] = leader
+                group_size[leader] = group_size.get(leader, 0) + 1
+
+        tick = 0
+        while True:
+            active = [
+                i
+                for i, (client, session) in enumerate(zip(clients, sessions))
+                if not session.done and client.start_tick <= tick
+            ]
+            waiting = any(
+                not session.done and client.start_tick > tick
+                for client, session in zip(clients, sessions)
+            )
+            if not active and not waiting:
+                break
+
+            # One batched index pass per tick over the distinct queries
+            # (a follower's query is its leader's query).
+            owners = [i for i in active if leader_of.get(i, i) == i]
+            if owners:
+                bounds = [
+                    sessions[i].sequence.queries[sessions[i].query_index].bounds
+                    for i in owners
+                ]
+                for i, result in zip(owners, self.index.query_many(bounds)):
+                    sessions[i].prime_result(result)
+
+            bundles: dict[int, object] = {}
+            for i in active:
+                leader = leader_of.get(i, i)
+                if leader == i:
+                    if group_size.get(i, 1) > 1:
+                        bundles[i] = sessions[i].step_query_capture()
+                    else:
+                        sessions[i].step_query()
+                else:
+                    sessions[i].step_query_replay(bundles[leader])
+            tick += 1
+        return tick

@@ -51,6 +51,7 @@ __all__ = [
     "SENSITIVITY_DEFAULTS",
     "SERVE_CACHE_PAGES",
     "SERVE_CLIENTS",
+    "SERVE_CLIENTS_LARGE",
     "SERVE_PREFETCHERS",
     "SweepDefaults",
     "clients_matrix",
@@ -510,6 +511,11 @@ SERVE_PREFETCHERS: tuple[tuple[str, dict], ...] = (
 #: ~12% of the dataset's pages; the small value models a cache under
 #: heavy contention -- every client fights for the same few pages).
 SERVE_CACHE_PAGES: tuple[int | None, ...] = (None, 128)
+
+#: Large-fleet client counts for the lockstep serving plane (run with
+#: ``--lockstep``; the round-robin reference is impractically slow past
+#: a few hundred clients, and the schedulers are proven bit-identical).
+SERVE_CLIENTS_LARGE: tuple[int, ...] = (64, 256, 1024)
 
 
 def clients_matrix(

@@ -1,28 +1,53 @@
-"""Property-based tests for the LRU prefetch cache.
+"""Property-based tests for the LRU prefetch cache backends.
 
 `tests/test_storage.py` pins example behaviours; these properties let
 hypothesis search the operation space: the capacity bound must hold
 after *every* operation, eviction must follow least-recently-used
 order against an independent reference model, and bulk insertion must
 be idempotent.
+
+Every model-based property runs against **both** backends (the dict
+:class:`PrefetchCache` and the slot-array :class:`ArrayCache`), and the
+differential suite drives the two with identical random operation
+sequences — owner tags, eviction memory and batch calls included — and
+requires identical observable state after every single step.  That
+equivalence is what lets the lockstep serving plane swap backends
+without changing a bit of any metric.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.cache import PrefetchCache
+from repro.storage.cache import ArrayCache, PrefetchCache, make_cache
+
+BACKENDS = ["dict", "array"]
 
 #: Small id universe so sequences collide (re-inserts, touch hits).
 page_ids = st.integers(min_value=0, max_value=15)
 capacities = st.integers(min_value=0, max_value=8)
+owners = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
 
 operations = st.lists(
     st.one_of(
         st.tuples(st.just("insert"), page_ids),
         st.tuples(st.just("touch"), page_ids),
         st.tuples(st.just("insert_many"), st.lists(page_ids, max_size=10)),
+    ),
+    max_size=40,
+)
+
+#: Richer operation mix for the differential suite: owner tags plus the
+#: batch API, so every method of the shared contract gets exercised.
+tagged_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), page_ids, owners),
+        st.tuples(st.just("touch"), page_ids, st.none()),
+        st.tuples(st.just("insert_many"), st.lists(page_ids, max_size=10), owners),
+        st.tuples(st.just("touch_many"), st.lists(page_ids, max_size=10), st.none()),
+        st.tuples(st.just("clear"), st.none(), st.none()),
     ),
     max_size=40,
 )
@@ -54,7 +79,7 @@ class ModelLRU:
         self.pages.append(page)
 
 
-def apply(cache: PrefetchCache, model: ModelLRU, op) -> None:
+def apply(cache, model: ModelLRU, op) -> None:
     kind, arg = op
     if kind == "insert":
         cache.insert(arg)
@@ -68,32 +93,35 @@ def apply(cache: PrefetchCache, model: ModelLRU, op) -> None:
             model.insert(page)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(deadline=None)
 @given(capacity=capacities, ops=operations)
-def test_capacity_invariant_holds_after_every_operation(capacity, ops):
-    cache = PrefetchCache(capacity)
+def test_capacity_invariant_holds_after_every_operation(backend, capacity, ops):
+    cache = make_cache(backend, capacity)
     model = ModelLRU(capacity)
     for op in ops:
         apply(cache, model, op)
         assert len(cache) <= cache.capacity_pages
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(deadline=None)
 @given(capacity=capacities, ops=operations)
-def test_lru_eviction_order_matches_reference_model(capacity, ops):
+def test_lru_eviction_order_matches_reference_model(backend, capacity, ops):
     """cached_pages() (LRU-first) tracks the model after every op."""
-    cache = PrefetchCache(capacity)
+    cache = make_cache(backend, capacity)
     model = ModelLRU(capacity)
     for op in ops:
         apply(cache, model, op)
         assert cache.cached_pages() == model.pages
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(deadline=None)
 @given(capacity=capacities, prefix=operations, pages=st.lists(page_ids, max_size=12))
-def test_insert_many_is_idempotent(capacity, prefix, pages):
+def test_insert_many_is_idempotent(backend, capacity, prefix, pages):
     """Re-inserting the same batch leaves contents and order unchanged."""
-    cache = PrefetchCache(capacity)
+    cache = make_cache(backend, capacity)
     model = ModelLRU(capacity)
     for op in prefix:
         apply(cache, model, op)
@@ -103,11 +131,12 @@ def test_insert_many_is_idempotent(capacity, prefix, pages):
     assert cache.cached_pages() == once
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(deadline=None)
 @given(capacity=st.integers(min_value=1, max_value=8), pages=st.lists(page_ids, min_size=1))
-def test_distinct_tail_survives_bulk_insert(capacity, pages):
+def test_distinct_tail_survives_bulk_insert(backend, capacity, pages):
     """After insert_many, the cache holds the last distinct pages inserted."""
-    cache = PrefetchCache(capacity)
+    cache = make_cache(backend, capacity)
     cache.insert_many(pages)
     expected: list[int] = []
     for page in reversed(pages):  # last occurrences, newest first
@@ -116,3 +145,146 @@ def test_distinct_tail_survives_bulk_insert(capacity, pages):
         if len(expected) == capacity:
             break
     assert cache.cached_pages() == list(reversed(expected))
+
+
+# -- differential equivalence: dict backend vs array backend -----------------
+
+
+def observable_state(cache) -> dict:
+    """Everything the serving plane can see about a cache."""
+    universe = list(range(16))
+    return {
+        "len": len(cache),
+        "is_full": cache.is_full,
+        "cached_pages": cache.cached_pages(),
+        "counters": (cache.hits, cache.misses, cache.evictions, cache.insertions),
+        "hit_rate": cache.hit_rate,
+        "owners": [cache.owner_of(p) for p in universe],
+        "evicted": [cache.was_evicted(p) for p in universe],
+        "contains": [p in cache for p in universe],
+        "owners_many": cache.owners_many(universe).tolist(),
+        "evicted_many": cache.evicted_many(universe).tolist(),
+        "contains_many": cache.contains_many(universe).tolist(),
+        "missing_many": cache.missing_many(universe),
+    }
+
+
+@settings(deadline=None)
+@given(capacity=capacities, ops=tagged_operations)
+def test_array_cache_is_observably_identical_to_dict_cache(capacity, ops):
+    """Same random op sequence -> same observable state after every step.
+
+    This is the bit-identity foundation of the lockstep serving plane:
+    any divergence between the backends here would surface as metric
+    drift in an equivalence test two layers up, so it is pinned at the
+    source with the full op vocabulary (owner tags, batch ops, clear).
+    """
+    dict_cache = PrefetchCache(capacity)
+    array_cache = ArrayCache(capacity)
+    for kind, arg, owner in ops:
+        if kind == "insert":
+            dict_cache.insert(arg, owner)
+            array_cache.insert(arg, owner)
+        elif kind == "touch":
+            assert dict_cache.touch(arg) == array_cache.touch(arg)
+        elif kind == "insert_many":
+            dict_cache.insert_many(arg, owner)
+            array_cache.insert_many(arg, owner)
+        elif kind == "touch_many":
+            assert (
+                dict_cache.touch_many(arg).tolist()
+                == array_cache.touch_many(arg).tolist()
+            )
+        else:
+            dict_cache.clear()
+            array_cache.clear()
+        assert observable_state(dict_cache) == observable_state(array_cache)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(deadline=None)
+@given(capacity=capacities, prefix=operations, probe=st.lists(page_ids, max_size=12))
+def test_batch_ops_match_scalar_loops(backend, capacity, prefix, probe):
+    """Each batch call equals the scalar loop it replaces, element-wise."""
+    cache = make_cache(backend, capacity)
+    model = ModelLRU(capacity)
+    for op in prefix:
+        apply(cache, model, op)
+
+    assert cache.contains_many(probe).tolist() == [p in cache for p in probe]
+    assert cache.missing_many(probe) == [p for p in probe if p not in cache]
+    assert cache.owners_many(probe).tolist() == [
+        -1 if cache.owner_of(p) is None else cache.owner_of(p) for p in probe
+    ]
+    assert cache.evicted_many(probe).tolist() == [cache.was_evicted(p) for p in probe]
+
+    # touch_many mutates; compare against a fresh replica touched scalar-wise.
+    replica = make_cache(backend, capacity)
+    replica_model = ModelLRU(capacity)
+    for op in prefix:
+        apply(replica, replica_model, op)
+    batch_mask = cache.touch_many(probe).tolist()
+    scalar_mask = [replica.touch(p) for p in probe]
+    assert batch_mask == scalar_mask
+    assert cache.cached_pages() == replica.cached_pages()
+    assert (cache.hits, cache.misses) == (replica.hits, replica.misses)
+
+
+def test_array_cache_rejects_negative_page_ids():
+    cache = ArrayCache(4)
+    with pytest.raises(ValueError, match="non-negative"):
+        cache.insert(-1)
+    with pytest.raises(ValueError, match="non-negative"):
+        cache.insert_many([3, -2])
+    # Read-side probes of negative ids are harmless (absent, not wrapped).
+    assert -1 not in cache
+    assert cache.touch(-5) is False
+    assert cache.contains_many([-1, -7]).tolist() == [False, False]
+    assert cache.evicted_many([-1]).tolist() == [False]
+
+
+def test_make_cache_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown cache backend"):
+        make_cache("mmap", 8)
+
+
+# -- partition invariant under lockstep serving ------------------------------
+
+
+@pytest.mark.parametrize("cache_backend", BACKENDS)
+@settings(deadline=None, max_examples=10)
+@given(
+    n_clients=st.integers(min_value=1, max_value=4),
+    mode=st.sampled_from(["independent", "hotspot"]),
+    cache_pages=st.one_of(st.none(), st.integers(min_value=8, max_value=64)),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_lockstep_serving_partitions_cache_totals(
+    tissue, tissue_flat, cache_backend, n_clients, mode, cache_pages, seed
+):
+    """Per-client hits+misses partition the shared cache's counters under
+    the lockstep scheduler, for both cache backends (the round-robin
+    counterpart lives in test_serving.py)."""
+    from repro.baselines import EWMAPrefetcher
+    from repro.sim import ServingSimulator, SimulationConfig
+    from repro.workload import multiclient_sessions
+
+    clients = multiclient_sessions(
+        tissue, n_clients=n_clients, seed=seed, n_queries=3,
+        volume=30_000.0, mode=mode,
+    )
+    config = SimulationConfig(cache_capacity_pages=cache_pages)
+    report = ServingSimulator(tissue_flat, config).run(
+        clients,
+        [EWMAPrefetcher(lam=0.3) for _ in clients],
+        lockstep=True,
+        cache_backend=cache_backend,
+    )
+    assert sum(c.shared_hits for c in report.clients) == report.cache_hits
+    assert sum(c.shared_misses for c in report.clients) == report.cache_misses
+    for client in report.clients:
+        records = client.metrics.records
+        assert client.shared_hits == sum(r.pages_hit for r in records)
+        assert client.shared_misses == sum(r.pages_missed for r in records)
+        assert 0 <= client.cross_client_hits <= client.shared_hits
+        assert 0 <= client.evicted_misses <= client.shared_misses

@@ -28,8 +28,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.sim import CellSpec, run_experiment
-from repro.sim.runner import prepare_cell
+from repro.sim import CellSpec, ServingSimulator, run_experiment
+from repro.sim.runner import (
+    DatasetSpec,
+    IndexSpec,
+    PrefetcherSpec,
+    WorkloadSpec,
+    prepare_cell,
+    prepare_serving_cell,
+)
 from repro.workload.sweeps import (
     fig10_matrix,
     fig11_matrix,
@@ -60,6 +67,21 @@ def golden_cells() -> dict[str, CellSpec]:
             prefetchers=(("scout", {}),),
             n_sequences=2,
         )[0],
+        # One serving cell with real contention: three clients follow a
+        # single hot sequence through an undersized shared cache, so the
+        # fixture freezes cross-client hits and eviction-induced misses
+        # alongside the ordinary metric set.  The two serving schedulers
+        # are proven bit-identical (test_serving_lockstep.py), so this
+        # fixture pins both at once.
+        "clients": CellSpec(
+            dataset=DatasetSpec("neuron", {"n_neurons": 6, "seed": 7}),
+            index=IndexSpec("flat", {"fanout": 16}),
+            workload=WorkloadSpec(n_sequences=3, n_queries=4, volume=30_000.0),
+            prefetcher=PrefetcherSpec("ewma", {"lam": 0.3}),
+            seed=21,
+            sim={"cache_capacity_pages": 8},
+            serve={"n_clients": 3, "mode": "hotspot", "stagger": 1, "hot_pool": 1},
+        ),
     }
 
 
@@ -69,8 +91,12 @@ def compute_metrics(spec: CellSpec) -> dict:
     Executes the cell through :func:`repro.sim.runner.prepare_cell` --
     the exact pipeline the sweep engine runs -- but keeps the per-query
     records, which carry the page-level accounting the aggregate
-    metrics drop.
+    metrics drop.  Serving cells (a ``serve`` mapping on the spec) run
+    through :class:`ServingSimulator` instead and additionally freeze
+    the shared-cache contention counters.
     """
+    if spec.serve:
+        return compute_serving_metrics(spec)
     index, sequences, prefetcher, config = prepare_cell(spec)
     outcome = run_experiment(index, sequences, prefetcher, config)
 
@@ -91,6 +117,42 @@ def compute_metrics(spec: CellSpec) -> dict:
             0.0 if pages_prefetched == 0 else max(0.0, 1.0 - pages_hit / pages_prefetched)
         ),
         "per_sequence_hit_rates": [float(r) for r in metrics.per_sequence_hit_rates],
+    }
+
+
+def compute_serving_metrics(spec: CellSpec) -> dict:
+    """The golden metric set of one multi-client serving cell.
+
+    Same keys as the single-client path (clients stand in for
+    sequences) plus the contention counters that make a serving run a
+    serving run: cross-client hits, eviction-induced misses, shared
+    cache evictions and the tick count.  Scheduler-agnostic by the
+    lockstep bit-identity guarantee.
+    """
+    index, clients, prefetchers, config = prepare_serving_cell(spec)
+    report = ServingSimulator(index, config).run(clients, prefetchers)
+
+    records = [record for client in report.clients for record in client.metrics.records]
+    eligible = [record for client in report.clients for record in client.metrics.eligible]
+    pages_prefetched = sum(record.prefetch_pages for record in records)
+    pages_hit = sum(record.pages_hit for record in eligible)
+    pages_missed = sum(record.pages_needed - record.pages_hit for record in eligible)
+    gap_io_pages = sum(record.gap_io_pages for record in records)
+    metrics = report.to_aggregate()
+    return {
+        "cache_hit_rate": metrics.cache_hit_rate,
+        "hit_rate_std": metrics.hit_rate_std,
+        "speedup": None if math.isinf(metrics.speedup) else metrics.speedup,
+        "pages_prefetched": int(pages_prefetched),
+        "pages_fetched": int(pages_prefetched + pages_missed + gap_io_pages),
+        "unused_prefetch_rate": (
+            0.0 if pages_prefetched == 0 else max(0.0, 1.0 - pages_hit / pages_prefetched)
+        ),
+        "per_sequence_hit_rates": [float(r) for r in metrics.per_sequence_hit_rates],
+        "cross_client_hits": int(report.cross_client_hits),
+        "evicted_misses": int(report.evicted_misses),
+        "cache_evictions": int(report.cache_evictions),
+        "n_ticks": int(report.n_ticks),
     }
 
 

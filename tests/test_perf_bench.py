@@ -11,6 +11,7 @@ from repro.perf.bench import (
     BenchReport,
     bench_fig13a,
     bench_region_query,
+    bench_serving,
     check_budget,
     render_report,
 )
@@ -39,6 +40,18 @@ class TestSuites:
         assert result["metrics_bit_identical"] is True
         assert result["scalar_seconds"] > 0 and result["vector_seconds"] > 0
         assert len(result["hit_rates"]) == 1
+
+    def test_serving_suite_asserts_bit_identity(self, small_tissue):
+        from repro.index import FlatIndex
+
+        index = FlatIndex(small_tissue, fanout=16)
+        result = bench_serving(small_tissue, index, n_clients=8, n_queries=4, repeats=1)
+        assert result["reports_bit_identical"] is True
+        assert result["n_clients"] == 8
+        assert result["lockstep_qps"] > 0 and result["round_robin_qps"] > 0
+        assert result["lockstep_speedup"] == pytest.approx(
+            result["round_robin_seconds"] / result["lockstep_seconds"], rel=1e-9
+        )
 
 
 class TestReportAndBudget:
@@ -115,6 +128,22 @@ class TestReportAndBudget:
         failures = check_budget(slow, path)
         assert failures and "region_query_batched_speedup" in failures[0]
 
+    def test_serving_floor_gates_on_ratio(self, tmp_path):
+        report = self.make_report(50_000.0, 9_000.0)
+        report.results["serving"] = {
+            "round_robin_qps": 2_000.0,
+            "lockstep_qps": 9_000.0,
+            "lockstep_speedup": 4.5,
+        }
+        path = tmp_path / "budget.json"
+        path.write_text(
+            json.dumps({"tolerance": 0.3, "floors": {"serving_lockstep_speedup": 3.0}})
+        )
+        assert check_budget(report, path) == []
+        report.results["serving"]["lockstep_speedup"] = 1.1
+        failures = check_budget(report, path)
+        assert failures and "serving_lockstep_speedup" in failures[0]
+
     def test_checked_in_budget_is_loadable(self):
         from pathlib import Path
 
@@ -126,6 +155,8 @@ class TestReportAndBudget:
             "region_query_single_speedup",
             "region_query_batched_qps",
             "region_query_single_qps",
+            "serving_lockstep_speedup",
+            "serving_lockstep_qps",
         }
         assert 0.0 < budget["tolerance"] < 1.0
 

@@ -118,6 +118,30 @@ class TestServeCellExecution:
             assert a.metrics == b.metrics
 
 
+class TestLockstepPlumbing:
+    def test_lockstep_cell_metrics_identical(self):
+        """run_serving_cell is scheduler-agnostic: same cell, same metrics."""
+        spec = serving_spec()
+        reference = run_serving_cell(spec, lockstep=False)[0]
+        vectorized = run_serving_cell(spec, lockstep=True)[0]
+        assert vectorized.key == reference.key
+        assert vectorized.metrics == reference.metrics
+
+    def test_env_toggle_drives_the_scheduler(self, monkeypatch):
+        """REPRO_SERVE_LOCKSTEP reaches run_serving_cell (and so workers)."""
+        spec = serving_spec()
+        reference = run_serving_cell(spec)[0]
+        monkeypatch.setenv("REPRO_SERVE_LOCKSTEP", "1")
+        toggled = run_serving_cell(spec)[0]
+        assert toggled.metrics == reference.metrics
+
+    def test_serving_metrics_carry_contention_counters(self):
+        """The persisted aggregate keeps cross_client_hits/evicted_misses."""
+        result, report = run_serving_cell(serving_spec())
+        assert result.metrics.cross_client_hits == report.cross_client_hits
+        assert result.metrics.evicted_misses == report.evicted_misses
+
+
 class TestClientsMatrix:
     def test_grid_shape_and_order(self):
         cells = clients_matrix(

@@ -1,0 +1,249 @@
+"""Lockstep serving plane: bit-identity against the round-robin reference.
+
+The vectorized scheduler (batched ``query_many`` per tick, array cache,
+leader/follower plan sharing) is only allowed to change *where* pure
+work happens, never what any client observes.  The matrix here pins
+that: for every client count x contention mode x prefetcher x cache
+backend, the lockstep report equals the round-robin report **bit for
+bit** -- every per-query record, every per-client contention counter,
+every shared-cache total, the tick count.  Timing claims (the perf
+suite's 5x) are only meaningful on top of this equality.
+
+Also pinned: N=1 lockstep reproduces ``SimulationEngine.run`` exactly
+(extending the PR-5 invariant to the new scheduler), the plan-sharing
+eligibility guard, and the ``to_aggregate`` round trip that carries the
+contention counters into stored records (additive keys only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import EWMAPrefetcher, StraightLinePrefetcher
+from repro.core import ScoutPrefetcher
+from repro.sim import ServingSimulator, SimulationConfig, SimulationEngine
+from repro.sim.results import metrics_from_dict, metrics_to_dict
+from repro.sim.serve import lockstep_from_env
+from repro.workload import multiclient_sessions
+
+
+def make_prefetcher(kind: str, tissue):
+    if kind == "scout":
+        return ScoutPrefetcher(tissue)
+    if kind == "line":
+        return StraightLinePrefetcher()
+    return EWMAPrefetcher(lam=0.3)
+
+
+def serve(tissue, index, *, n_clients, kind="ewma", mode="independent",
+          stagger=0, cache_pages=None, n_queries=4, seed=5, hot_pool=4,
+          **run_kwargs):
+    clients = multiclient_sessions(
+        tissue,
+        n_clients=n_clients,
+        seed=seed,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode=mode,
+        stagger=stagger,
+        hot_pool=hot_pool,
+    )
+    config = SimulationConfig(cache_capacity_pages=cache_pages)
+    prefetchers = [make_prefetcher(kind, tissue) for _ in clients]
+    return ServingSimulator(index, config).run(clients, prefetchers, **run_kwargs)
+
+
+def report_state(report) -> tuple:
+    """Every observable bit of a ServeReport, comparably flattened."""
+    return (
+        [
+            (
+                client.client_id,
+                client.shared_hits,
+                client.shared_misses,
+                client.cross_client_hits,
+                client.evicted_misses,
+                [dataclasses.asdict(r) for r in client.metrics.records],
+            )
+            for client in report.clients
+        ],
+        report.capacity_pages,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_evictions,
+        report.cache_insertions,
+        report.n_ticks,
+    )
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("n_clients", [1, 2, 8, 64])
+    @pytest.mark.parametrize("mode", ["independent", "hotspot"])
+    @pytest.mark.parametrize("kind", ["ewma", "scout"])
+    def test_lockstep_bit_identical_to_round_robin(
+        self, tissue, tissue_flat, n_clients, mode, kind
+    ):
+        n_queries = 2 if n_clients == 64 else 4
+        reference = serve(
+            tissue, tissue_flat, n_clients=n_clients, mode=mode, kind=kind,
+            n_queries=n_queries, lockstep=False,
+        )
+        vectorized = serve(
+            tissue, tissue_flat, n_clients=n_clients, mode=mode, kind=kind,
+            n_queries=n_queries, lockstep=True,
+        )
+        assert report_state(vectorized) == report_state(reference)
+
+    @pytest.mark.parametrize("cache_backend", ["dict", "array"])
+    @pytest.mark.parametrize("stagger,cache_pages", [(0, None), (1, 24), (2, 12)])
+    def test_backends_and_contention_knobs(
+        self, tissue, tissue_flat, cache_backend, stagger, cache_pages
+    ):
+        """Both cache backends, staggered arrivals, tiny (evicting) caches."""
+        reference = serve(
+            tissue, tissue_flat, n_clients=4, mode="hotspot", stagger=stagger,
+            cache_pages=cache_pages, n_queries=5, lockstep=False,
+        )
+        vectorized = serve(
+            tissue, tissue_flat, n_clients=4, mode="hotspot", stagger=stagger,
+            cache_pages=cache_pages, n_queries=5, lockstep=True,
+            cache_backend=cache_backend,
+        )
+        assert report_state(vectorized) == report_state(reference)
+
+    @pytest.mark.parametrize("kind", ["ewma", "line", "scout"])
+    def test_single_client_lockstep_matches_engine_run(
+        self, tissue, tissue_flat, kind
+    ):
+        """N=1 under the new scheduler still reproduces the classic loop."""
+        clients = multiclient_sessions(
+            tissue, n_clients=1, seed=5, n_queries=8, volume=30_000.0
+        )
+        report = ServingSimulator(tissue_flat).run(
+            clients, [make_prefetcher(kind, tissue)], lockstep=True
+        )
+        reference = SimulationEngine(tissue_flat).run(
+            clients[0].sequence, make_prefetcher(kind, tissue)
+        )
+        assert report.clients[0].metrics.records == reference.records
+        assert report.to_aggregate().cache_hit_rate == reference.cache_hit_rate
+
+    def test_share_plans_off_is_still_identical(self, tissue, tissue_flat):
+        """Sharing is an optimization, not a semantic: off == auto == reference."""
+        shared = serve(tissue, tissue_flat, n_clients=6, mode="hotspot",
+                       hot_pool=2, lockstep=True)
+        unshared = serve(tissue, tissue_flat, n_clients=6, mode="hotspot",
+                         hot_pool=2, lockstep=True, share_plans=False)
+        reference = serve(tissue, tissue_flat, n_clients=6, mode="hotspot",
+                          hot_pool=2, lockstep=False)
+        assert report_state(shared) == report_state(reference)
+        assert report_state(unshared) == report_state(reference)
+
+
+class TestPlanSharing:
+    def test_followers_actually_replay_the_leader(self, tissue, tissue_flat):
+        """Plan sharing must engage (else the equivalence tests are vacuous).
+
+        Followers of a shared hot sequence skip ``observe()`` entirely,
+        so their prefetcher history stays empty -- observable proof the
+        leader's bundle, not a recomputation, served them.
+        """
+        clients = multiclient_sessions(
+            tissue, n_clients=4, seed=5, n_queries=4, volume=30_000.0,
+            mode="hotspot", hot_pool=1,
+        )
+        prefetchers = [EWMAPrefetcher(lam=0.3) for _ in clients]
+        ServingSimulator(tissue_flat).run(clients, prefetchers, lockstep=True)
+        histories = [len(p._centers) for p in prefetchers]
+        assert histories[0] == 4  # the leader observed every query
+        assert histories[1:] == [0, 0, 0]  # followers replayed, never observed
+
+    def test_heterogeneous_fleet_disables_sharing(self, tissue, tissue_flat):
+        """Mixed prefetcher configs must not share plans -- and stay exact."""
+        clients = multiclient_sessions(
+            tissue, n_clients=3, seed=5, n_queries=4, volume=30_000.0,
+            mode="hotspot", hot_pool=1,
+        )
+
+        def fleet():
+            return [EWMAPrefetcher(lam=0.3), EWMAPrefetcher(lam=0.7),
+                    StraightLinePrefetcher()]
+
+        reference = ServingSimulator(tissue_flat).run(clients, fleet(), lockstep=False)
+        vectorized = ServingSimulator(tissue_flat).run(clients, fleet(), lockstep=True)
+        assert report_state(vectorized) == report_state(reference)
+
+    def test_share_plans_true_requires_eligible_fleet(self, tissue, tissue_flat):
+        clients = multiclient_sessions(
+            tissue, n_clients=2, seed=5, n_queries=2, volume=30_000.0
+        )
+        with pytest.raises(ValueError, match="position-only"):
+            ServingSimulator(tissue_flat).run(
+                clients,
+                [EWMAPrefetcher(lam=0.3), ScoutPrefetcher(tissue)],
+                lockstep=True,
+                share_plans=True,
+            )
+
+    def test_share_plans_needs_lockstep(self, tissue, tissue_flat):
+        clients = multiclient_sessions(
+            tissue, n_clients=2, seed=5, n_queries=2, volume=30_000.0
+        )
+        with pytest.raises(ValueError, match="lockstep"):
+            ServingSimulator(tissue_flat).run(
+                clients,
+                [EWMAPrefetcher(lam=0.3) for _ in clients],
+                lockstep=False,
+                share_plans=True,
+            )
+
+
+class TestEnvToggle:
+    def test_lockstep_env_parsing(self, monkeypatch):
+        for value, expected in [("1", True), ("true", True), ("ON", True),
+                                ("0", False), ("", False), ("off", False)]:
+            monkeypatch.setenv("REPRO_SERVE_LOCKSTEP", value)
+            assert lockstep_from_env() is expected
+        monkeypatch.delenv("REPRO_SERVE_LOCKSTEP")
+        assert lockstep_from_env() is False
+
+
+class TestAggregateCarryThrough:
+    """Satellite fix: ``to_aggregate`` must not drop contention counters."""
+
+    def test_to_aggregate_carries_contention_counters(self, tissue, tissue_flat):
+        report = serve(
+            tissue, tissue_flat, n_clients=4, kind="scout", mode="hotspot",
+            hot_pool=1, stagger=1, n_queries=8, lockstep=False,
+        )
+        assert report.cross_client_hits > 0  # the interesting case
+        pooled = report.to_aggregate()
+        assert pooled.cross_client_hits == report.cross_client_hits
+        assert pooled.evicted_misses == report.evicted_misses
+
+    def test_serving_metrics_round_trip_through_store_schema(
+        self, tissue, tissue_flat
+    ):
+        report = serve(tissue, tissue_flat, n_clients=2, n_queries=3,
+                       lockstep=False)
+        pooled = report.to_aggregate()
+        data = metrics_to_dict(pooled)
+        assert data["cross_client_hits"] == report.cross_client_hits
+        assert data["evicted_misses"] == report.evicted_misses
+        assert metrics_from_dict(data) == pooled
+
+    def test_single_client_records_stay_byte_identical(self, tissue, tissue_flat):
+        """Non-serving aggregates persist without the additive keys."""
+        from repro.sim import run_experiment
+        from repro.workload import generate_sequences
+
+        sequences = generate_sequences(tissue, 2, 5, n_queries=3, volume=30_000.0)
+        outcome = run_experiment(tissue_flat, sequences, EWMAPrefetcher(lam=0.3))
+        data = metrics_to_dict(outcome.metrics)
+        assert "cross_client_hits" not in data
+        assert "evicted_misses" not in data
+        assert metrics_from_dict(data) == dataclasses.replace(
+            outcome.metrics, speedup=outcome.metrics.speedup
+        )
