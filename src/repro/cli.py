@@ -18,8 +18,10 @@ for the sensitivity panels, ``--figure 17`` with ``--panels a,b`` for
 the cross-domain applicability grid (lung/arterial/roads datasets),
 ``--figure clients`` for the multi-client serving grid (``--clients``
 counts x prefetchers x ``--cache-pages`` shared-cache sizes, optionally
-under ``--contention hotspot``) -- into experiment cells, fans them out
-over ``--jobs`` worker processes,
+under ``--contention hotspot``), ``--figure chaos`` for the
+fault-injection serving grid (fault rate x prefetcher x circuit
+breaker on/off over a seeded faulty disk) -- into experiment cells,
+fans them out over ``--jobs`` worker processes,
 persists every finished cell to a JSON-lines store keyed by the cell
 spec's content hash, and renders figure tables from the stored results.
 Re-runs against the same ``--out`` file resume: successful cells in the
@@ -123,14 +125,14 @@ def _parse_shard(value: str) -> tuple[int, int]:
 
 
 def _parse_figure(value: str):
-    """``--figure`` value: a figure number, or the ``clients`` grid."""
-    if value == "clients":
+    """``--figure`` value: a figure number, or a named grid."""
+    if value in ("clients", "chaos"):
         return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"figure must be 10|11|12|13|17|clients, got {value!r}"
+            f"figure must be 10|11|12|13|17|clients|chaos, got {value!r}"
         ) from None
 
 
@@ -144,13 +146,15 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--figure",
         type=_parse_figure,
-        choices=[10, 11, 12, 13, 17, "clients"],
+        choices=[10, 11, 12, 13, 17, "clients", "chaos"],
         default=13,
         help="which evaluation grid to sweep: the Fig-10 microbenchmark "
         "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
         "the Fig-13 sensitivity panels (default), the Fig-17 "
-        "cross-domain applicability grid (lung/arterial/roads), or the "
-        "'clients' grid (N concurrent sessions over one shared cache)",
+        "cross-domain applicability grid (lung/arterial/roads), the "
+        "'clients' grid (N concurrent sessions over one shared cache), "
+        "or the 'chaos' grid (serving under an injected-fault disk: "
+        "fault rate x prefetcher x circuit breaker on/off)",
     )
     parser.add_argument(
         "--panels",
@@ -445,6 +449,56 @@ def _render_clients_tables(grids, results) -> None:
         print(spread.render())
 
 
+def _chaos_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import chaos_matrix
+
+    kwargs = {}
+    if args.neurons is not None:
+        kwargs["n_neurons"] = args.neurons
+    # One grid group per breaker setting, so each renders as one table.
+    return [
+        (
+            f"breaker {'on' if breaker else 'off'}",
+            chaos_matrix(
+                breakers=(breaker,),
+                workload_seed=21 if args.seed is None else args.seed,
+                **kwargs,
+            ),
+        )
+        for breaker in (True, False)
+    ]
+
+
+def _render_chaos_tables(grids, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import chaos_rate_of
+
+    offset = 0
+    for label, cells in grids:
+        panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
+        offset += len(cells)
+        hit = sweep_table(
+            f"Chaos sweep -- {label} -- aggregate hit rate [%]",
+            panel_results,
+            column_of=lambda r: chaos_rate_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+            figure_id="chaos",
+        )
+        degraded = sweep_table(
+            f"Chaos sweep -- {label} -- degraded queries (demand paging)",
+            panel_results,
+            column_of=lambda r: chaos_rate_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: r.metrics.degraded_ticks or 0,
+            precision=0,
+        )
+        print()
+        print(hit.render())
+        print()
+        print(degraded.render())
+
+
 def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     from repro.workload.sweeps import FIGURE_MATRICES
 
@@ -554,7 +608,7 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--timeout must be positive, got {args.timeout}")
     # Refuse mixed-figure flags loudly: running the wrong (possibly
     # much larger) grid is worse than an argparse error.
-    if args.figure in (13, 17, "clients") and args.benches is not None:
+    if args.figure in (13, 17, "clients", "chaos") and args.benches is not None:
         parser.error("--benches applies to --figure 10|11|12; use --panels for Figs 13/17")
     if args.figure not in (13, 17) and args.panels is not None:
         parser.error(f"--panels applies to --figure 13|17, not --figure {args.figure}")
@@ -563,7 +617,9 @@ def _sweep_command(argv: list[str]) -> int:
     if args.figure != 17 and args.datasets is not None:
         parser.error(f"--datasets applies to --figure 17, not --figure {args.figure}")
     if args.figure == 17 and args.neurons is not None:
-        parser.error("--neurons applies to the neuron-tissue grids (figures 10-13, clients)")
+        parser.error(
+            "--neurons applies to the neuron-tissue grids (figures 10-13, clients, chaos)"
+        )
     if args.figure != "clients":
         if args.clients is not None:
             parser.error(f"--clients applies to --figure clients, not --figure {args.figure}")
@@ -575,20 +631,21 @@ def _sweep_command(argv: list[str]) -> int:
             parser.error(
                 f"--contention applies to --figure clients, not --figure {args.figure}"
             )
-        if args.lockstep:
+        if args.lockstep and args.figure != "chaos":
             parser.error(
-                f"--lockstep applies to --figure clients, not --figure {args.figure}"
+                f"--lockstep applies to the serving grids (clients, chaos), "
+                f"not --figure {args.figure}"
             )
-    elif args.sequences is not None:
-        parser.error("--sequences does not apply to --figure clients "
-                     "(each client runs one session; vary --clients instead)")
+    if args.figure in ("clients", "chaos") and args.sequences is not None:
+        parser.error(f"--sequences does not apply to --figure {args.figure} "
+                     "(each client runs one session)")
     if args.lockstep:
         # Environment toggle (like REPRO_SCALE) so sweep worker
         # processes inherit the scheduler choice; results are
         # bit-identical either way, so stores and cell keys are
         # unaffected.
         os.environ[LOCKSTEP_ENV] = "1"
-    figure_stem = "clients" if args.figure == "clients" else f"fig{args.figure}"
+    figure_stem = args.figure if isinstance(args.figure, str) else f"fig{args.figure}"
     out = args.out if args.out is not None else f"results/{figure_stem}_sweep.jsonl"
 
     if args.figure == 13:
@@ -597,6 +654,8 @@ def _sweep_command(argv: list[str]) -> int:
         grids = _fig17_grids(args, parser)
     elif args.figure == "clients":
         grids = _clients_grids(args, parser)
+    elif args.figure == "chaos":
+        grids = _chaos_grids(args, parser)
     else:
         grids = _microbenchmark_grids(args)
     if grids is None:
@@ -612,6 +671,7 @@ def _sweep_command(argv: list[str]) -> int:
     all_cells = [cell for _, cells in grids for cell in cells]
     if args.list_cells:
         from repro.workload.sweeps import (
+            chaos_rate_of,
             fig13_axis_value,
             fig17_dataset_of,
             microbenchmark_of,
@@ -626,6 +686,8 @@ def _sweep_command(argv: list[str]) -> int:
                     axis = f"dataset={fig17_dataset_of(cell.to_dict())}"
                 elif args.figure == "clients":
                     axis = f"clients={serve_clients_of(cell.to_dict())}"
+                elif args.figure == "chaos":
+                    axis = f"rate={chaos_rate_of(cell.to_dict()):g}"
                 else:
                     axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
                 print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
@@ -658,6 +720,8 @@ def _sweep_command(argv: list[str]) -> int:
         _render_fig17_tables(grids, report.results)
     elif args.figure == "clients":
         _render_clients_tables(grids, report.results)
+    elif args.figure == "chaos":
+        _render_chaos_tables(grids, report.results)
     else:
         _render_microbenchmark_tables(args.figure, report.results)
 

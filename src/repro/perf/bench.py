@@ -2,7 +2,7 @@
 
 Times the system's hot paths and writes one ``BENCH_<rev>.json`` per
 git revision, so the repository accumulates a measured performance
-trajectory alongside its correctness tests.  Five suites:
+trajectory alongside its correctness tests.  Six suites:
 
 * **index_build** -- bulk-load time of the three index types, plus the
   scalar-path FLAT build (whose adjacency preprocessing runs the
@@ -21,7 +21,11 @@ trajectory alongside its correctness tests.  Five suites:
 * **serving** -- multi-client serving throughput: a Zipf-hotspot fleet
   stepped once by the reference round-robin scheduler and once by the
   vectorized lockstep scheduler, with both full serve reports required
-  to be bit-identical before any timing counts.
+  to be bit-identical before any timing counts;
+* **fault_layer** -- the fault-injection wrapper's no-op cost: the
+  serving fleet on a bare disk vs a disabled
+  :class:`~repro.storage.faults.FaultPlan`, reports required identical,
+  throughput ratio gated by the ``fault_layer_overhead`` budget floor.
 
 Every suite compares against the scalar reference implementations kept
 in :mod:`repro.index.scalar_ref` and
@@ -55,7 +59,9 @@ from repro.graph.traversal import region_crossings, region_crossings_reference
 from repro.index import FlatIndex, GridIndex, STRTree
 from repro.index.scalar_ref import ScalarFlatIndex
 from repro.sim import run_experiment
+from repro.sim.engine import SimulationConfig
 from repro.sim.serve import ServingSimulator
+from repro.storage.faults import FaultPlan
 from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
 
@@ -319,6 +325,66 @@ def bench_serving(dataset, index, n_clients: int, n_queries: int, repeats: int) 
     }
 
 
+def bench_fault_overhead(
+    dataset, index, n_clients: int, n_queries: int, repeats: int
+) -> dict[str, Any]:
+    """Cost of the fault-injection layer when every fault rate is zero.
+
+    Runs the serving fleet twice under the lockstep scheduler: once on
+    the bare :class:`~repro.storage.disk.DiskModel` and once wrapped in
+    a :class:`~repro.storage.faults.FaultyDiskModel` compiled from a
+    no-op :class:`~repro.storage.faults.FaultPlan`.  Plan sharing is
+    off on both sides (a fault plan disables it, so the bare baseline
+    must match), which isolates the wrapper's per-read dispatch cost.
+    Both reports must be bit-identical apart from the ``faults_active``
+    flag before any timing counts; ``overhead_ratio`` is the faulty
+    side's throughput as a fraction of the plain side's (1.0 = free),
+    gated by the ``fault_layer_overhead`` budget floor.
+    """
+    clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=21,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode="hotspot",
+        stagger=0,
+        hot_pool=8,
+    )
+    plain_sim = ServingSimulator(index)
+    faulty_sim = ServingSimulator(index, SimulationConfig(faults=FaultPlan()))
+
+    def fleet():
+        return [EWMAPrefetcher(lam=0.3) for _ in clients]
+
+    def run_plain():
+        return plain_sim.run(clients, fleet(), lockstep=True, share_plans=False)
+
+    def run_faulty():
+        return faulty_sim.run(clients, fleet(), lockstep=True)
+
+    plain_report = asdict(run_plain())
+    faulty_report = asdict(run_faulty())
+    plain_report.pop("faults_active")
+    faulty_report.pop("faults_active")
+    if plain_report != faulty_report:
+        raise AssertionError("no-op fault plan changed the serve report")
+
+    plain_s = _best_of(run_plain, repeats)
+    faulty_s = _best_of(run_faulty, repeats)
+    n_total = n_clients * n_queries
+    return {
+        "n_clients": n_clients,
+        "n_queries_per_client": n_queries,
+        "plain_seconds": plain_s,
+        "faulty_seconds": faulty_s,
+        "plain_qps": n_total / plain_s,
+        "faulty_qps": n_total / faulty_s,
+        "overhead_ratio": plain_s / faulty_s,
+        "reports_bit_identical": True,
+    }
+
+
 def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     """Run every suite and assemble the report (does not write it)."""
     if quick:
@@ -343,6 +409,9 @@ def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     report.results["serving"] = bench_serving(
         dataset, index, n_serve_clients, n_queries=8, repeats=repeats
     )
+    report.results["fault_layer"] = bench_fault_overhead(
+        dataset, index, n_serve_clients, n_queries=8, repeats=repeats
+    )
     return report
 
 
@@ -358,6 +427,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
     tolerance = float(budget.get("tolerance", 0.30))
     region = report.results.get("region_query", {})
     serving = report.results.get("serving", {})
+    fault_layer = report.results.get("fault_layer", {})
     measured = {
         # Speedup ratios are the primary gates: scalar baseline and
         # vectorized path run on the same machine in the same bench, so
@@ -369,20 +439,36 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
         "region_query_single_qps": region.get("vector_single_qps", 0.0),
         "serving_lockstep_speedup": serving.get("lockstep_speedup", 0.0),
         "serving_lockstep_qps": serving.get("lockstep_qps", 0.0),
+        "fault_layer_overhead": fault_layer.get("overhead_ratio", 0.0),
     }
     failures = []
     for name, floor in budget.get("floors", {}).items():
+        # A floor is a bare number (gated with the global tolerance) or
+        # a {"floor": x, "tolerance": y} object for gates that need a
+        # tighter band than the global one -- the fault-layer overhead
+        # ratio is ~1.0, so a 30 % band would never fire.
+        if isinstance(floor, dict):
+            floor_value = float(floor["floor"])
+            floor_tolerance = float(floor.get("tolerance", tolerance))
+        else:
+            floor_value = float(floor)
+            floor_tolerance = tolerance
         value = measured.get(name)
         if value is None:
             failures.append(f"budget names unknown metric {name!r}")
             continue
-        limit = float(floor) * (1.0 - tolerance)
+        limit = floor_value * (1.0 - floor_tolerance)
         if value < limit:
             failures.append(
-                f"{name}: measured {value:,.0f} < floor {float(floor):,.0f} "
-                f"* (1 - {tolerance:.2f}) = {limit:,.0f}"
+                f"{name}: measured {_fmt(value)} < floor {_fmt(floor_value)} "
+                f"* (1 - {floor_tolerance:.2f}) = {_fmt(limit)}"
             )
     return failures
+
+
+def _fmt(value: float) -> str:
+    """Budget-message number: thousands for rates, decimals for ratios."""
+    return f"{value:,.0f}" if value >= 100 else f"{value:.3f}"
 
 
 def render_report(report: BenchReport) -> str:
@@ -424,5 +510,12 @@ def render_report(report: BenchReport) -> str:
             f"lockstep {s['lockstep_qps']:,.0f} q/s  "
             f"round-robin {s['round_robin_qps']:,.0f} q/s  "
             f"({s['lockstep_speedup']:.1f}x, reports bit-identical)"
+        )
+    if "fault_layer" in r:
+        fl = r["fault_layer"]
+        lines.append(
+            f"fault layer    : no-op plan {fl['faulty_qps']:,.0f} q/s  "
+            f"bare disk {fl['plain_qps']:,.0f} q/s  "
+            f"(overhead ratio {fl['overhead_ratio']:.3f}, reports bit-identical)"
         )
     return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.index.base import SpatialIndex
 from repro.sim.metrics import QueryRecord, SequenceMetrics
 from repro.storage.cache import ArrayCache, PrefetchCache
 from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
 from repro.workload.sequence import QuerySequence
 
 __all__ = ["QuerySession", "SimulationConfig", "SimulationEngine"]
@@ -151,10 +152,22 @@ class SimulationConfig:
     #: earlier in practice; this is a safety net).
     incremental_max_steps: int = 24
 
+    #: Fault-injection plan compiled into every disk this config builds
+    #: (``None`` keeps the bare, never-failing model).  A present plan
+    #: with all-zero rates exercises the fault layer's code path without
+    #: injecting anything -- bit-identical metrics, measurable overhead.
+    faults: FaultPlan | None = None
+
     def cache_capacity_for(self, index: SpatialIndex) -> int:
         if self.cache_capacity_pages is not None:
             return self.cache_capacity_pages
         return max(256, int(0.12 * index.n_pages))
+
+    def build_disk(self) -> DiskModel | FaultyDiskModel:
+        """The disk this config prescribes: bare, or fault-wrapped."""
+        if self.faults is None:
+            return DiskModel(self.disk)
+        return FaultyDiskModel(self.disk, self.faults)
 
 
 class _BatchedProbes:
@@ -270,6 +283,12 @@ class SimulationEngine:
         """
         if not targets:
             return 0, 0.0
+        # Fault-wrapped disks verify delivered payloads before the cache
+        # insert (read-repair); a propagating ReadFailure is enriched
+        # with the partial work already done so the caller can account
+        # the window's actual spending.
+        faulty = isinstance(disk, FaultyDiskModel)
+        page_table = self.index.page_table if faulty else None
         if probes is None:
             side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
             probes = [
@@ -308,7 +327,14 @@ class SimulationEngine:
                     if not batch:
                         continue
                     batch = disk.trim_to_budget(batch, remaining)
-                    cost = disk.read_pages(batch)
+                    try:
+                        cost = disk.read_pages(batch)
+                    except ReadFailure as failure:
+                        failure.prior_pages = pages_read
+                        failure.prior_seconds = seconds
+                        raise
+                    if faulty:
+                        cost += disk.verify_delivery(batch, page_table)
                     spent += cost
                     remaining -= cost
                     seconds += cost
@@ -369,7 +395,7 @@ class QuerySession:
         self.cache = (
             PrefetchCache(config.cache_capacity_for(engine.index)) if cache is None else cache
         )
-        self.disk = DiskModel(config.disk) if disk is None else disk
+        self.disk = config.build_disk() if disk is None else disk
         self.client_id = client_id
         self.metrics = SequenceMetrics()
         self.phase = "serve"
@@ -387,7 +413,24 @@ class QuerySession:
         self.shared_misses = 0
         self.cross_client_hits = 0
         self.evicted_misses = 0
+        # Fault-plane accounting (DESIGN.md §7): serve-path pages whose
+        # read exhausted its retries (they complete via clean recovery
+        # reads, and together with shared_misses partition the cache's
+        # miss count), and queries served degraded (demand paging only)
+        # behind an open circuit breaker.
+        self.failed_reads = 0
+        self.degraded_ticks = 0
+        self._fault_disk = self.disk if isinstance(self.disk, FaultyDiskModel) else None
+        self._breaker: CircuitBreaker | None = None
+        if self._fault_disk is not None and self._fault_disk.plan.breaker:
+            plan = self._fault_disk.plan
+            self._breaker = CircuitBreaker(plan.breaker_threshold, plan.breaker_cooldown)
         prefetcher.begin_sequence()
+
+    @property
+    def breaker_opens(self) -> int:
+        """How many times this client's circuit breaker tripped."""
+        return 0 if self._breaker is None else self._breaker.opens
 
     # -- state ----------------------------------------------------------------------
 
@@ -526,11 +569,29 @@ class QuerySession:
         hit_mask = cache.touch_many(pages)
         hit_pages = pages[hit_mask]
         miss_pages = pages[~hit_mask]
-        residual = self.disk.read_pages(miss_pages)
+        fault_disk = self._fault_disk
+        miss_failed = False
+        if fault_disk is None:
+            residual = self.disk.read_pages(miss_pages)
+        else:
+            try:
+                residual = self.disk.read_pages(miss_pages)
+            except ReadFailure as failure:
+                # The user is still owed the data: recover with a clean
+                # demand re-read, charging both the doomed attempts and
+                # the recovery read to residual time.
+                residual = failure.seconds + fault_disk.recover_read(miss_pages)
+                miss_failed = True
 
         n_hits = int(hit_pages.size)
         self.shared_hits += n_hits
-        self.shared_misses += int(miss_pages.size)
+        if miss_failed:
+            # These pages complete via recovery, but for accounting they
+            # are failed reads, not ordinary misses: hits + misses +
+            # failed_reads partitions the cache's touch counts.
+            self.failed_reads += int(miss_pages.size)
+        else:
+            self.shared_misses += int(miss_pages.size)
         if self.client_id is not None:
             owners = cache.owners_many(hit_pages)
             self.cross_client_hits += int(np.count_nonzero(owners != self.client_id))
@@ -570,6 +631,18 @@ class QuerySession:
 
     def _phase_predict(self) -> None:
         ctx = self._ctx
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow_prefetch():
+            # Open breaker: this client is degraded to demand paging.
+            # The prefetcher is bypassed entirely -- no observation, no
+            # prediction cost, no plan -- so a misbehaving prefetch path
+            # cannot keep hurting the client it already failed.
+            ctx["degraded"] = True
+            self.degraded_ticks += 1
+            ctx["prediction_cost"] = 0.0
+            ctx["build_cost"] = 0.0
+            ctx["budget"] = 0.0
+            return
         bundle_in, bundle_out = self._bundle_in, self._bundle_out
         if bundle_in is not None:
             # Replay: the leader's prefetcher state is bitwise-identical
@@ -592,72 +665,119 @@ class QuerySession:
                 bundle_out.build_cost = ctx["build_cost"]
         ctx["budget"] = ctx["window"] - ctx["prediction_cost"]
 
+    def _spend_window(self, ctx: dict, budget: float) -> tuple[int, float, int]:
+        """Gap I/O plus plan execution; (plan pages, seconds, gap pages).
+
+        The historical body of the prefetch phase.  A propagating
+        :class:`ReadFailure` leaves with its ``prior_*`` fields covering
+        *everything* this window spent before the doomed batch -- gap
+        reads included -- so the caller can account the query from the
+        exception alone.
+        """
+        cache, disk = self.cache, self.disk
+        bundle_in, bundle_out = self._bundle_in, self._bundle_out
+        fault_disk = self._fault_disk
+        prefetch_pages = 0
+        prefetch_seconds = 0.0
+        gap_pages_used = 0
+        try:
+            # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).  Replay
+            # iterates the leader's captured pull sequence; the scheduler
+            # only shares plans for gap-free prefetchers, so leader and
+            # follower always pull the same (empty) prefix.
+            gap_source = (
+                bundle_in.gap_pages if bundle_in is not None else self.prefetcher.gap_io_pages()
+            )
+            for page in gap_source:
+                if budget <= 0:
+                    break
+                gap_pages_used += 1
+                if bundle_out is not None:
+                    bundle_out.gap_pages.append(page)
+                if page in cache:
+                    continue
+                cost = disk.read_pages([page])
+                if fault_disk is not None:
+                    cost += fault_disk.verify_delivery([page], self.engine.index.page_table)
+                budget -= cost
+                prefetch_seconds += cost
+                cache.insert(page, self.client_id)
+
+            # Execute the plan within the remaining window.  Group members
+            # enter with identical budgets (pure inputs), so the leader's
+            # planned/not-planned decision is every member's decision; each
+            # member still spends its own budget against its own view of
+            # the shared cache, consuming its own prefix of the shared
+            # probe streams.
+            if budget > 0:
+                if bundle_in is not None:
+                    targets = bundle_in.targets
+                    probes = (
+                        [s.view() for s in bundle_in.streams]
+                        if bundle_in.streams is not None
+                        else None
+                    )
+                else:
+                    targets = self.prefetcher.plan()
+                    probes = None
+                    if bundle_out is not None:
+                        bundle_out.targets = targets
+                        if targets:
+                            side = float(np.cbrt(max(ctx["query"].bounds.volume, 1e-30)))
+                            bundle_out.streams = [
+                                _SharedProbeStream(
+                                    self.engine.index,
+                                    self.engine._incremental_regions(t, side),
+                                )
+                                for t in targets
+                            ]
+                            probes = [s.view() for s in bundle_out.streams]
+                used = self.engine._execute_plan(
+                    targets, ctx["query"], cache, disk, budget, self.client_id, probes=probes
+                )
+                prefetch_pages += used[0]
+                prefetch_seconds += used[1]
+        except ReadFailure as failure:
+            failure.prior_pages += prefetch_pages
+            failure.prior_seconds += prefetch_seconds
+            failure.gap_pages_used = gap_pages_used
+            raise
+        return prefetch_pages, prefetch_seconds, gap_pages_used
+
     def _phase_prefetch(self) -> None:
         ctx = self._ctx
-        cache, disk = self.cache, self.disk
         budget = ctx["budget"]
         bundle_in, bundle_out = self._bundle_in, self._bundle_out
 
         prefetch_pages = 0
         prefetch_seconds = 0.0
         gap_pages_used = 0
+        degraded = bool(ctx.get("degraded"))
 
-        # Prediction I/O first (SCOUT-OPT gap traversal, §6.3).  Replay
-        # iterates the leader's captured pull sequence; the scheduler
-        # only shares plans for gap-free prefetchers, so leader and
-        # follower always pull the same (empty) prefix.
-        gap_source = (
-            bundle_in.gap_pages if bundle_in is not None else self.prefetcher.gap_io_pages()
-        )
-        for page in gap_source:
-            if budget <= 0:
-                break
-            gap_pages_used += 1
-            if bundle_out is not None:
-                bundle_out.gap_pages.append(page)
-            if page in cache:
-                continue
-            cost = disk.read_pages([page])
-            budget -= cost
-            prefetch_seconds += cost
-            cache.insert(page, self.client_id)
-
-        # Execute the plan within the remaining window.  Group members
-        # enter with identical budgets (pure inputs), so the leader's
-        # planned/not-planned decision is every member's decision; each
-        # member still spends its own budget against its own view of
-        # the shared cache, consuming its own prefix of the shared
-        # probe streams.
-        if budget > 0:
-            if bundle_in is not None:
-                targets = bundle_in.targets
-                probes = (
-                    [s.view() for s in bundle_in.streams]
-                    if bundle_in.streams is not None
-                    else None
+        if not degraded:
+            try:
+                prefetch_pages, prefetch_seconds, gap_pages_used = self._spend_window(
+                    ctx, budget
                 )
-            else:
-                targets = self.prefetcher.plan()
-                probes = None
-                if bundle_out is not None:
-                    bundle_out.targets = targets
-                    if targets:
-                        side = float(np.cbrt(max(ctx["query"].bounds.volume, 1e-30)))
-                        bundle_out.streams = [
-                            _SharedProbeStream(
-                                self.engine.index,
-                                self.engine._incremental_regions(t, side),
-                            )
-                            for t in targets
-                        ]
-                        probes = [s.view() for s in bundle_out.streams]
-            used = self.engine._execute_plan(
-                targets, ctx["query"], cache, disk, budget, self.client_id, probes=probes
-            )
-            prefetch_pages += used[0]
-            prefetch_seconds += used[1]
+                prefetch_failed = False
+            except ReadFailure as failure:
+                # The failing batch never reached the cache; account the
+                # partial work done before it (enriched prior_* fields)
+                # plus the doomed attempts' charged time, and abandon
+                # the rest of this window.
+                prefetch_pages = failure.prior_pages
+                prefetch_seconds = failure.prior_seconds + failure.seconds
+                gap_pages_used = failure.gap_pages_used
+                prefetch_failed = True
+            if self._breaker is not None:
+                if prefetch_failed:
+                    self._breaker.record_failure()
+                else:
+                    self._breaker.record_success()
 
-        if bundle_in is not None:
+        if degraded:
+            n_candidates = 0
+        elif bundle_in is not None:
             n_candidates = bundle_in.n_candidates
         else:
             n_candidates = getattr(self.prefetcher, "n_candidates", 0)

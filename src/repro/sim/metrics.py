@@ -161,6 +161,12 @@ class AggregateMetrics:
     per_sequence_hit_rates: list[float]
     cross_client_hits: int | None = None
     evicted_misses: int | None = None
+    #: Fault-plane counters (DESIGN.md §7): populated only by cells run
+    #: with an active fault plan; ``None`` (and omitted from persisted
+    #: records) everywhere else, so fault-free stores stay byte-identical.
+    failed_reads: int | None = None
+    degraded_ticks: int | None = None
+    breaker_opens: int | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -189,6 +195,14 @@ class ClientMetrics:
     shared_misses: int = 0
     cross_client_hits: int = 0
     evicted_misses: int = 0
+    #: Fault-plane accounting (zero without an active fault plan):
+    #: serve-path pages whose read exhausted its retries (under faults,
+    #: ``shared_misses + failed_reads`` partitions this client's share
+    #: of the cache's miss count), queries served degraded to demand
+    #: paging behind an open breaker, and breaker trips.
+    failed_reads: int = 0
+    degraded_ticks: int = 0
+    breaker_opens: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -215,6 +229,10 @@ class ServeReport:
     cache_evictions: int
     cache_insertions: int
     n_ticks: int
+    #: Whether the run's disk carried a fault plan.  Gates the fault
+    #: counters' persistence: fault-free serving cells keep serializing
+    #: without them, so existing stored records stay byte-identical.
+    faults_active: bool = False
 
     @property
     def n_clients(self) -> int:
@@ -248,6 +266,21 @@ class ServeReport:
             return 0.0
         return self.cross_client_hits / hits
 
+    @property
+    def failed_reads(self) -> int:
+        """Serve-path pages whose read exhausted its retries."""
+        return sum(client.failed_reads for client in self.clients)
+
+    @property
+    def degraded_ticks(self) -> int:
+        """Queries served in demand-paging degradation, fleet-wide."""
+        return sum(client.degraded_ticks for client in self.clients)
+
+    @property
+    def breaker_opens(self) -> int:
+        """Circuit-breaker trips across the fleet."""
+        return sum(client.breaker_opens for client in self.clients)
+
     def to_aggregate(self) -> AggregateMetrics:
         """Pool the clients exactly like sequences of one experiment cell.
 
@@ -260,11 +293,19 @@ class ServeReport:
         distinguish sharing wins from eviction pressure.
         """
         pooled = aggregate([client.metrics for client in self.clients])
-        return replace(
+        pooled = replace(
             pooled,
             cross_client_hits=self.cross_client_hits,
             evicted_misses=self.evicted_misses,
         )
+        if self.faults_active:
+            pooled = replace(
+                pooled,
+                failed_reads=self.failed_reads,
+                degraded_ticks=self.degraded_ticks,
+                breaker_opens=self.breaker_opens,
+            )
+        return pooled
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

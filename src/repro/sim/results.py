@@ -16,8 +16,8 @@ over a database for three properties the orchestrator needs:
   cell as soon as its worker returns, so an interrupted sweep keeps
   everything computed so far.  With ``async_writes=True`` the appends
   are drained by a background writer thread, so the scheduling loop
-  never blocks on file I/O (``flush()`` waits for the queue, ``close()``
-  stops the thread);
+  never blocks on file I/O (``flush()`` waits for the queue and fsyncs
+  the file so drained lines are durable, ``close()`` stops the thread);
 * **corruption locality** -- a truncated or garbled line (e.g. from a
   crash mid-write) invalidates only that record.  :meth:`ResultStore.load`
   verifies each line and drops bad records, distinguishing *corrupt*
@@ -138,6 +138,12 @@ def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
         data["cross_client_hits"] = int(metrics.cross_client_hits)
     if metrics.evicted_misses is not None:
         data["evicted_misses"] = int(metrics.evicted_misses)
+    if metrics.failed_reads is not None:
+        data["failed_reads"] = int(metrics.failed_reads)
+    if metrics.degraded_ticks is not None:
+        data["degraded_ticks"] = int(metrics.degraded_ticks)
+    if metrics.breaker_opens is not None:
+        data["breaker_opens"] = int(metrics.breaker_opens)
     return data
 
 
@@ -159,6 +165,15 @@ def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
         ),
         evicted_misses=(
             None if data.get("evicted_misses") is None else int(data["evicted_misses"])
+        ),
+        failed_reads=(
+            None if data.get("failed_reads") is None else int(data["failed_reads"])
+        ),
+        degraded_ticks=(
+            None if data.get("degraded_ticks") is None else int(data["degraded_ticks"])
+        ),
+        breaker_opens=(
+            None if data.get("breaker_opens") is None else int(data["breaker_opens"])
         ),
     )
 
@@ -294,8 +309,13 @@ def _classify_record(record: Any) -> str:
     return _VALID
 
 
-def _append_line(path: Path, line: str) -> None:
-    """Append one record line, guarding against a partial final line."""
+def _append_line(path: Path, line: str, fsync: bool = True) -> None:
+    """Append one record line, guarding against a partial final line.
+
+    ``fsync=False`` skips the per-line disk sync; the async writer uses
+    it so a busy queue drains at buffer-cache speed, and restores
+    durability with one file-level fsync at :meth:`_AsyncWriter.flush`.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a+b") as fh:
         # A crash mid-write can leave the file without a trailing
@@ -308,7 +328,8 @@ def _append_line(path: Path, line: str) -> None:
                 fh.write(b"\n")
         fh.write((line + "\n").encode("utf-8"))
         fh.flush()
-        os.fsync(fh.fileno())
+        if fsync:
+            os.fsync(fh.fileno())
 
 
 class _AsyncWriter:
@@ -340,7 +361,10 @@ class _AsyncWriter:
                 if item is self._CLOSE:
                     return
                 if self._error is None:
-                    _append_line(self._path, item)
+                    # Per-line fsync would serialize the queue on disk
+                    # latency; durability is restored by the file-level
+                    # fsync in :meth:`flush` (and hence :meth:`close`).
+                    _append_line(self._path, item, fsync=False)
             except BaseException as exc:  # noqa: BLE001 - reported via flush()
                 self._error = exc
             finally:
@@ -350,6 +374,15 @@ class _AsyncWriter:
         if self._error is not None:
             error, self._error = self._error, None
             raise RuntimeError(f"async store write to {self._path} failed") from error
+
+    def _sync_file(self) -> None:
+        """fsync the store file so every drained line is durable."""
+        if self._path.exists():
+            fd = os.open(self._path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
 
     def submit(self, line: str) -> None:
         if self._closed:
@@ -362,6 +395,7 @@ class _AsyncWriter:
 
     def flush(self) -> None:
         self._queue.join()
+        self._sync_file()
         self._raise_pending()
 
     def close(self) -> None:
@@ -369,6 +403,7 @@ class _AsyncWriter:
             self._closed = True
             self._queue.put(self._CLOSE)
             self._thread.join()
+            self._sync_file()
         self._raise_pending()
 
 
@@ -435,15 +470,20 @@ class ResultStore:
         self.n_stale = 0
         self.n_lines = 0
         if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
+            # Binary mode with per-line decoding: a final line torn
+            # mid-write (e.g. truncated inside a multi-byte UTF-8
+            # character by a crash or full disk) must cost exactly that
+            # one record -- text mode would raise UnicodeDecodeError and
+            # abort the whole load.
+            with self.path.open("rb") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
                         continue
                     self.n_lines += 1
                     try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
+                        record = json.loads(raw.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
                         self.n_corrupt += 1
                         continue
                     verdict = _classify_record(record)

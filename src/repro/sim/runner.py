@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import cProfile
 import contextlib
-import os
 import signal
 import threading
 import time
@@ -84,6 +83,7 @@ from repro.sim.results import (
     cell_key,
 )
 from repro.storage.disk import DiskParameters
+from repro.storage.faults import FAULT_PREFETCHER_BUILDERS, FaultPlan
 from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
 
@@ -122,55 +122,6 @@ _INDEX_BUILDERS: dict[str, Callable[..., Any]] = {
     "grid": GridIndex,
 }
 
-def _build_sleep_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
-    """Fault-injection kind: stall ``seconds`` before behaving as ``none``.
-
-    Exists so the timeout/retry machinery can be exercised with a real
-    cell spec in any worker process (registries travel with the module,
-    unlike monkeypatches, so this works under every multiprocessing
-    start method).
-    """
-    time.sleep(float(p.get("seconds", 0.0)))
-    return NoPrefetcher()
-
-
-def _build_fail_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
-    """Fault-injection kind: raise during construction.
-
-    With ``once_flag`` set, the first attempt creates that file and
-    raises while later attempts succeed -- a deterministic transient
-    failure for exercising retry-then-succeed.
-    """
-    flag = p.get("once_flag")
-    if flag is not None:
-        flag_path = Path(flag)
-        if flag_path.exists():
-            return NoPrefetcher()
-        flag_path.touch()
-    raise RuntimeError(str(p.get("message", "injected cell failure")))
-
-
-def _build_exit_prefetcher(ds: Any, ix: Any, p: Mapping[str, Any]):
-    """Fault-injection kind: kill the hosting process with ``os._exit``.
-
-    Simulates a hard worker death (OOM kill, segfault): the process
-    vanishes without unwinding, which breaks a
-    :class:`~concurrent.futures.ProcessPoolExecutor` and exercises the
-    runner's pool-respawn path.  With ``once_flag`` set, only the first
-    attempt dies (the flag file persists across the respawned pool);
-    ``seconds`` delays the death so sibling cells can finish first.
-    Pooled runs only -- in a serial run this kills the sweep itself.
-    """
-    flag = p.get("once_flag")
-    if flag is not None:
-        flag_path = Path(flag)
-        if flag_path.exists():
-            return NoPrefetcher()
-        flag_path.touch()
-    time.sleep(float(p.get("seconds", 0.0)))
-    os._exit(int(p.get("code", 1)))
-
-
 _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     "scout": lambda ds, ix, p: ScoutPrefetcher(ds, ScoutConfig(**p)),
     "scout-opt": lambda ds, ix, p: ScoutOptPrefetcher(ds, ix, ScoutConfig(**p)),
@@ -182,10 +133,10 @@ _PREFETCHER_BUILDERS: dict[str, Callable[..., Any]] = {
     "layered": lambda ds, ix, p: LayeredPrefetcher(ds, **p),
     "none": lambda ds, ix, p: NoPrefetcher(),
     "oracle": lambda ds, ix, p: OraclePrefetcher(),
-    # Fault-injection kinds for the orchestrator's own test surface.
-    "_sleep": _build_sleep_prefetcher,
-    "_fail": _build_fail_prefetcher,
-    "_exit": _build_exit_prefetcher,
+    # Fault-injection kinds (``_sleep`` / ``_fail`` / ``_exit``) for the
+    # orchestrator's own test surface, consolidated in the faults module
+    # under their historical names.
+    **FAULT_PREFETCHER_BUILDERS,
 }
 
 
@@ -294,6 +245,12 @@ class CellSpec:
     ``zipf_s`` -- see :func:`repro.workload.multiclient.multiclient_sessions`.
     Serialization omits an empty ``serve``, so every pre-existing cell
     keeps its content hash (and its stored results).
+
+    ``faults`` holds :class:`~repro.storage.faults.FaultPlan` field
+    overrides: when non-empty, the cell's disk is wrapped in a
+    :class:`~repro.storage.faults.FaultyDiskModel` compiled from the
+    plan.  Like ``serve``, an empty ``faults`` is omitted from
+    serialization, so fault-free cells keep their content hash.
     """
 
     dataset: DatasetSpec
@@ -303,6 +260,7 @@ class CellSpec:
     seed: int = 0
     sim: Mapping[str, Any] = field(default_factory=dict)
     serve: Mapping[str, Any] = field(default_factory=dict)
+    faults: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -315,6 +273,8 @@ class CellSpec:
         }
         if self.serve:
             data["serve"] = dict(self.serve)
+        if self.faults:
+            data["faults"] = dict(self.faults)
         return data
 
     @classmethod
@@ -329,6 +289,7 @@ class CellSpec:
             seed=int(data["seed"]),
             sim=dict(data.get("sim", {})),
             serve=dict(data.get("serve", {})),
+            faults=dict(data.get("faults", {})),
         )
 
     def key(self) -> str:
@@ -478,13 +439,17 @@ def _memoized(memo: OrderedDict, key: str, build: Callable[[], Any]):
     return value
 
 
-def _sim_config(sim: Mapping[str, Any]) -> SimulationConfig | None:
-    if not sim:
+def _sim_config(
+    sim: Mapping[str, Any], faults: Mapping[str, Any] = ()
+) -> SimulationConfig | None:
+    if not sim and not faults:
         return None
     kwargs = dict(sim)
     disk = kwargs.pop("disk", None)
     if disk is not None:
         kwargs["disk"] = DiskParameters(**disk)
+    if faults:
+        kwargs["faults"] = FaultPlan.from_dict(faults)
     return SimulationConfig(**kwargs)
 
 
@@ -533,7 +498,7 @@ def prepare_cell(spec: CellSpec):
         window_ratio=w.window_ratio,
     )
     prefetcher = spec.prefetcher.build(dataset, index)
-    return index, sequences, prefetcher, _sim_config(spec.sim)
+    return index, sequences, prefetcher, _sim_config(spec.sim, spec.faults)
 
 
 def prepare_serving_cell(spec: CellSpec):
@@ -577,7 +542,7 @@ def prepare_serving_cell(spec: CellSpec):
         **serve,
     )
     prefetchers = [spec.prefetcher.build(dataset, index) for _ in clients]
-    return index, clients, prefetchers, _sim_config(spec.sim)
+    return index, clients, prefetchers, _sim_config(spec.sim, spec.faults)
 
 
 def run_serving_cell(

@@ -50,7 +50,6 @@ from repro.index.base import SpatialIndex
 from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
 from repro.sim.metrics import ClientMetrics, ServeReport
 from repro.storage.cache import make_cache
-from repro.storage.disk import DiskModel
 from repro.workload.multiclient import ClientWorkload
 
 __all__ = ["ServingSimulator", "lockstep_from_env"]
@@ -132,8 +131,19 @@ class ServingSimulator:
             lockstep = lockstep_from_env()
         if cache_backend is None:
             cache_backend = "array" if lockstep else "dict"
+        # A configured fault plan disables leader/follower plan sharing:
+        # per-client breaker state diverges under failures, so a
+        # follower's observe/plan work is no longer a pure replay of its
+        # leader's.  Both schedulers still read from the shared faulty
+        # disk in exact client order, so their reports (and the fault
+        # RNG draw sequence) stay bit-identical.
+        faulty = self.config.faults is not None
+        if faulty and share_plans:
+            raise ValueError("share_plans is unavailable under a fault plan")
+        if faulty:
+            share_plans = False
         cache = make_cache(cache_backend, self.config.cache_capacity_for(self.index))
-        disk = DiskModel(self.config.disk)
+        disk = self.config.build_disk()
         sessions = [
             QuerySession(
                 self.engine,
@@ -162,6 +172,9 @@ class ServingSimulator:
                     shared_misses=session.shared_misses,
                     cross_client_hits=session.cross_client_hits,
                     evicted_misses=session.evicted_misses,
+                    failed_reads=session.failed_reads,
+                    degraded_ticks=session.degraded_ticks,
+                    breaker_opens=session.breaker_opens,
                 )
                 for client, session in zip(clients, sessions)
             ],
@@ -171,6 +184,7 @@ class ServingSimulator:
             cache_evictions=cache.evictions,
             cache_insertions=cache.insertions,
             n_ticks=n_ticks,
+            faults_active=faulty,
         )
 
     # -- schedulers -----------------------------------------------------------

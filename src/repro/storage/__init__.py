@@ -11,6 +11,17 @@ plus transfer time.  The prefetch cache is a page-granular LRU with the
 from repro.storage.page import PageTable
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.storage.cache import PrefetchCache
+from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
 from repro.storage.stats import IOStats
 
-__all__ = ["DiskModel", "DiskParameters", "IOStats", "PageTable", "PrefetchCache"]
+__all__ = [
+    "CircuitBreaker",
+    "DiskModel",
+    "DiskParameters",
+    "FaultPlan",
+    "FaultyDiskModel",
+    "IOStats",
+    "PageTable",
+    "PrefetchCache",
+    "ReadFailure",
+]

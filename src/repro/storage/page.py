@@ -14,6 +14,7 @@ list of per-page concatenations.
 
 from __future__ import annotations
 
+import zlib
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -56,6 +57,7 @@ class PageTable:
         if np.any(cross_page):
             raise ValueError("an object was assigned to more than one page")
         self._page_of_object[self._objects] = owners
+        self._checksums: dict[int, int] = {}
 
     # -- sizes ------------------------------------------------------------
 
@@ -94,6 +96,28 @@ class PageTable:
         starts = self._offsets[page_ids]
         counts = self._offsets[page_ids + 1] - starts
         return self._objects[csr_expand(starts, counts)]
+
+    # -- checksums ------------------------------------------------------
+
+    def checksum_of(self, page_id: int) -> int:
+        """CRC-32 of a page's canonical payload (its object-id array).
+
+        The page table is the ground truth of what each page *should*
+        contain, so its checksum is what delivered payloads are verified
+        against at cache-insert time (read-repair: see
+        :meth:`repro.storage.faults.FaultyDiskModel.verify_delivery`).
+        Computed lazily and memoized -- verification only touches pages
+        a fault actually tainted.
+        """
+        cached = self._checksums.get(page_id)
+        if cached is None:
+            cached = zlib.crc32(self.objects_of_page(page_id).tobytes())
+            self._checksums[page_id] = cached
+        return cached
+
+    def checksums_of(self, page_ids: Iterable[int] | np.ndarray) -> list[int]:
+        """Per-page checksums, in input order."""
+        return [self.checksum_of(int(p)) for p in page_ids]
 
     def page_of_object(self, object_id: int) -> int:
         page = int(self._page_of_object[object_id])

@@ -2,22 +2,49 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["IOStats"]
 
 
 @dataclass
 class IOStats:
-    """Running counters for one simulated component."""
+    """Running counters for one simulated component.
+
+    The first three fields are the classic healthy-path counters; the
+    rest are the fault plane's per-outcome accounting, filled only by
+    :class:`~repro.storage.faults.FaultyDiskModel` (a bare
+    :class:`~repro.storage.disk.DiskModel` leaves them zero).
+    """
 
     pages_read: int = 0
     random_positionings: int = 0
     seconds_busy: float = 0.0
 
+    #: Transient read errors drawn (each failed attempt counts once).
+    transient_errors: int = 0
+    #: Retries issued after transient errors.
+    retries: int = 0
+    #: Reads that succeeded after at least one retry.
+    retries_recovered: int = 0
+    #: Reads abandoned after exhausting the retry budget.
+    retries_exhausted: int = 0
+    #: Simulated seconds spent in retry backoff (included in
+    #: ``seconds_busy``).
+    backoff_seconds: float = 0.0
+    #: Reads whose elapsed time was inflated by a latency spike.
+    latency_spikes: int = 0
+    #: Reads surcharged by a stuck-disk interval.
+    stuck_reads: int = 0
+    #: Pages whose delivered payload failed checksum verification.
+    corrupt_detected: int = 0
+    #: Pages re-read cleanly (read-repair plus demand-path recovery).
+    reread_pages: int = 0
+
     def merged_with(self, other: "IOStats") -> "IOStats":
         return IOStats(
-            pages_read=self.pages_read + other.pages_read,
-            random_positionings=self.random_positionings + other.random_positionings,
-            seconds_busy=self.seconds_busy + other.seconds_busy,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )

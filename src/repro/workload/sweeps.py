@@ -42,6 +42,7 @@ from typing import Any, Mapping, Sequence
 from repro.workload.benchmarks import MICROBENCHMARKS, microbenchmark_names
 
 __all__ = [
+    "CHAOS_RATES",
     "FIG11_PREFETCHERS",
     "FIG12_PREFETCHERS",
     "FIG13_PANELS",
@@ -54,6 +55,9 @@ __all__ = [
     "SERVE_CLIENTS_LARGE",
     "SERVE_PREFETCHERS",
     "SweepDefaults",
+    "chaos_breaker_of",
+    "chaos_matrix",
+    "chaos_rate_of",
     "clients_matrix",
     "fig10_matrix",
     "fig11_matrix",
@@ -598,6 +602,113 @@ def serve_cache_label(spec: Mapping[str, Any]) -> str:
     """Human label of a serving cell's shared-cache size ("auto" or pages)."""
     capacity = spec.get("sim", {}).get("cache_capacity_pages")
     return "auto" if capacity is None else f"{int(capacity)} pages"
+
+
+# -- the chaos (fault-injection) serving grid ---------------------------------------
+
+#: Fault intensities of the chaos sweep's x-axis: the headline
+#: ``transient_rate``; corrupt and latency-spike rates ride at half of
+#: it.  0.0 keeps the fault layer active but silent -- the degradation
+#: baseline every other column is read against.  The ladder spans the
+#: retry envelope: a read only *fails* after ``retry_limit + 1``
+#: consecutive bad draws (probability ``rate**4`` at the defaults), so
+#: 0.2 exercises pure retry/backoff pressure, 0.5 the first retry
+#: exhaustions, and 0.7 sustained failure where the breaker earns its
+#: keep.
+CHAOS_RATES: tuple[float, ...] = (0.0, 0.2, 0.5, 0.7)
+
+
+def chaos_matrix(
+    *,
+    rates: Sequence[float] = CHAOS_RATES,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = SERVE_PREFETCHERS,
+    breakers: Sequence[bool] = (True, False),
+    n_clients: int = 4,
+    mode: str = "hotspot",
+    stagger: int = 1,
+    n_neurons: int = 40,
+    n_queries: int | None = None,
+    volume: float | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 21,
+    fault_seed: int = 11,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+) -> list:
+    """The graceful-degradation grid: fault rate x prefetcher x breaker.
+
+    Every cell is a multi-client serving run whose shared disk is
+    wrapped in a :class:`~repro.storage.faults.FaultyDiskModel`: the
+    swept rate drives transient read errors, with torn-page corruption
+    and latency spikes at half that rate, all drawn from seeded RNG
+    streams so the grid is bit-identical across ``jobs=1``/``jobs=N``.
+    The breaker axis toggles per-client circuit breaking (trip to
+    demand paging after repeated prefetch-path failures), answering
+    the sweep's question: how much hit rate does the prefetcher keep
+    as the disk degrades, and does breaking early beat retrying?
+    Cells order breaker-major (then prefetcher, then rate) so each
+    breaker setting renders as one table.  Rate 0.0 cells carry the
+    (inactive) fault plan too, pinning the wrapper's no-op overhead
+    into the same store.
+    """
+    from repro.sim.runner import (
+        CellSpec,
+        DatasetSpec,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+
+    fault_rates = [float(r) for r in rates]
+    if not fault_rates or any(not 0.0 <= r <= 1.0 for r in fault_rates):
+        raise ValueError(f"rates must be fractions in [0, 1], got {list(rates)!r}")
+    n_clients = int(n_clients)
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    n_queries = defaults.n_queries if n_queries is None else int(n_queries)
+    volume = defaults.volume if volume is None else float(volume)
+
+    dataset = DatasetSpec("neuron", {"n_neurons": int(n_neurons), "seed": dataset_seed})
+    index = IndexSpec("flat", {"fanout": fanout})
+    cells: list = []
+    for breaker in breakers:
+        for kind, params in prefetchers:
+            for rate in fault_rates:
+                cells.append(
+                    CellSpec(
+                        dataset=dataset,
+                        index=index,
+                        workload=WorkloadSpec(
+                            n_sequences=n_clients,  # one session per client
+                            n_queries=n_queries,
+                            volume=volume,
+                            gap=defaults.gap,
+                            aspect=defaults.aspect,
+                            window_ratio=defaults.window_ratio,
+                        ),
+                        prefetcher=PrefetcherSpec(kind, dict(params)),
+                        seed=workload_seed,
+                        serve={"n_clients": n_clients, "mode": mode, "stagger": int(stagger)},
+                        faults={
+                            "transient_rate": rate,
+                            "corrupt_rate": rate / 2.0,
+                            "latency_rate": rate / 2.0,
+                            "seed": int(fault_seed),
+                            "breaker": bool(breaker),
+                        },
+                    )
+                )
+    return cells
+
+
+def chaos_rate_of(spec: Mapping[str, Any]) -> float:
+    """The fault-rate column a chaos cell-spec dict belongs to."""
+    return float(spec["faults"]["transient_rate"])
+
+
+def chaos_breaker_of(spec: Mapping[str, Any]) -> bool:
+    """Whether a chaos cell-spec dict runs with the circuit breaker on."""
+    return bool(spec["faults"].get("breaker", True))
 
 
 #: Figure number -> (matrix builder, default benches) for the

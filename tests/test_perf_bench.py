@@ -157,8 +157,12 @@ class TestReportAndBudget:
             "region_query_single_qps",
             "serving_lockstep_speedup",
             "serving_lockstep_qps",
+            "fault_layer_overhead",
         }
         assert 0.0 < budget["tolerance"] < 1.0
+        overhead = budget["floors"]["fault_layer_overhead"]
+        assert 0.9 < overhead["floor"] <= 1.0
+        assert 0.0 < overhead["tolerance"] < budget["tolerance"]
 
 
 class TestSweepProfileFlag:
