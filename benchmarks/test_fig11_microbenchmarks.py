@@ -18,7 +18,9 @@ BENCHES = microbenchmark_names(with_gaps=False)
 
 def _grid(tissue, tissue_index):
     hit = ResultTable("Fig 11a -- cache hit rate [%]", BENCHES, figure_id="fig11a")
-    speed = ResultTable("Fig 11b -- speedup vs no prefetching", BENCHES, figure_id="fig11b", precision=2)
+    speed = ResultTable(
+        "Fig 11b -- speedup vs no prefetching", BENCHES, figure_id="fig11b", precision=2
+    )
     results = {}
     for name, prefetcher in standard_prefetchers(tissue, tissue_index).items():
         hits, speeds = [], []

@@ -1,12 +1,14 @@
 """Command-line entry point: experiment cells, parallel sweeps, benchmarks.
 
-Five forms::
+Seven forms::
 
     scout-repro [run] --prefetcher scout --benchmark adhoc_stat
     scout-repro sweep --figure 11 --jobs 4 --out results/fig11.jsonl
     scout-repro merge --out results/fig11.jsonl results/fig11.shard*.jsonl
     scout-repro compact results/fig11.jsonl
     scout-repro bench --quick --budget benchmarks/perf/budget.json
+    scout-repro serve --port 8641 --report /tmp/serve-report.json
+    scout-repro loadgen --port 8641 --requests 200 --rate 400 --seed 42
 
 ``run`` (the default when no subcommand is given, for backward
 compatibility) executes one experiment cell on synthetic neuron tissue
@@ -47,6 +49,15 @@ and reporting the bytes reclaimed.
 reference implementations and writes ``BENCH_<rev>.json`` (see
 ROADMAP.md, "Performance tracking"); with ``--budget`` it exits
 non-zero when throughput regresses past the checked-in floors.
+
+``serve`` boots the open-loop asyncio serving daemon (DESIGN.md §8):
+client connections speak a length-prefixed JSON protocol, each runs a
+resumable :class:`~repro.sim.engine.QuerySession` against one shared
+cache and disk, and the daemon reports p50/p99/p999 latency, throughput
+and queue depth per interval, shedding load past ``--max-queue``.
+``loadgen`` drives it with seeded open-loop Poisson or bursty arrivals
+and writes the client-side latency report (``--shutdown`` drains the
+daemon gracefully afterwards).
 """
 
 from __future__ import annotations
@@ -736,7 +747,10 @@ def _sweep_command(argv: list[str]) -> int:
     )
     for result in report.results:
         if not result.ok:
-            print(f"  {result.status:7s} {result.key[:12]}  attempts={result.attempts}  {result.error}")
+            print(
+                f"  {result.status:7s} {result.key[:12]}  "
+                f"attempts={result.attempts}  {result.error}"
+            )
     print(f"store: {store.path}")
     if profile_dir is not None:
         print(f"profiles: {profile_dir}")
@@ -864,6 +878,202 @@ def _bench_command(argv: list[str]) -> int:
     return 0
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro serve",
+        description="Serve QuerySessions over TCP (length-prefixed JSON "
+        "protocol) with latency-percentile reporting and admission control.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8641, help="TCP port (0 picks an ephemeral port)"
+    )
+    parser.add_argument("--neurons", type=int, default=16, help="tissue size in neurons")
+    parser.add_argument("--prefetcher", choices=_PREFETCHERS, default="ewma")
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=8,
+        help="distinct navigation walks; connection i replays walk i mod pool",
+    )
+    parser.add_argument(
+        "--queries-per-session",
+        type=int,
+        default=20,
+        help="queries per session (an exhausted session renews in place)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["independent", "hotspot"],
+        default="hotspot",
+        help="session-pool contention regime",
+    )
+    parser.add_argument(
+        "--cache-pages",
+        type=int,
+        default=None,
+        help="shared cache capacity in pages (default: the engine's sizing rule)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission bound: queries queued beyond this are shed",
+    )
+    parser.add_argument(
+        "--report-interval",
+        type=float,
+        default=5.0,
+        help="seconds between interval latency reports on stdout",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the final JSON report here on graceful shutdown",
+    )
+    parser.add_argument("--seed", type=int, default=21, help="workload (and fault) seed")
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="transient-read fault rate; > 0 serves through a seeded "
+        "FaultyDiskModel with per-client circuit breakers",
+    )
+    return parser
+
+
+def _serve_command(argv: list[str]) -> int:
+    import asyncio
+
+    from repro.serve import DaemonConfig, ServeDaemon
+
+    parser = _build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.max_queue < 1:
+        parser.error(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.pool < 1:
+        parser.error(f"--pool must be >= 1, got {args.pool}")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error(f"--fault-rate must be within [0, 1], got {args.fault_rate}")
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        n_neurons=args.neurons,
+        seed=args.seed,
+        prefetcher=args.prefetcher,
+        session_pool=args.pool,
+        queries_per_session=args.queries_per_session,
+        mode=args.mode,
+        cache_pages=args.cache_pages,
+        max_queue=args.max_queue,
+        report_interval=args.report_interval,
+        report_path=args.report,
+        fault_rate=args.fault_rate,
+    )
+    daemon = ServeDaemon(config)
+    try:
+        asyncio.run(daemon.run_async())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scout-repro loadgen",
+        description="Drive a running serve daemon with seeded open-loop "
+        "arrivals and report client-observed latency percentiles.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8641)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument(
+        "--process",
+        choices=["poisson", "bursty"],
+        default="poisson",
+        help="arrival process (bursty = on/off Markov-modulated Poisson)",
+    )
+    parser.add_argument("--rate", type=float, default=200.0, help="arrivals per second")
+    parser.add_argument(
+        "--requests", type=int, default=None, help="total requests (fixed count)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="schedule horizon in seconds (count then derives from the seed)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--burst", type=float, default=8.0, help="ON-phase rate multiplier (bursty only)"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="gracefully drain the daemon after the load completes",
+    )
+    return parser
+
+
+def _loadgen_command(argv: list[str]) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import run_loadgen
+
+    parser = _build_loadgen_parser()
+    args = parser.parse_args(argv)
+    if args.connections < 1:
+        parser.error(f"--connections must be >= 1, got {args.connections}")
+    if (args.requests is None) == (args.duration is None):
+        parser.error("give exactly one of --requests and --duration")
+    if args.rate <= 0:
+        parser.error(f"--rate must be positive, got {args.rate}")
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                args.host,
+                args.port,
+                connections=args.connections,
+                process=args.process,
+                rate=args.rate,
+                requests=args.requests,
+                duration=args.duration,
+                seed=args.seed,
+                burst=args.burst,
+                shutdown=args.shutdown,
+            )
+        )
+    except (ConnectionError, OSError) as error:
+        print(f"loadgen failed: {error}")
+        return 2
+    latency = report["latency"]
+    print(
+        f"loadgen: {report['requests']} requests ({report['process']}, "
+        f"rate {report['offered_rate']:g}/s, seed {report['seed']})  "
+        f"ok {report['ok']}  shed {report['shed']}  errors {report['errors']}"
+    )
+    print(
+        f"latency: p50 {latency['p50_ms']:.2f}ms  p99 {latency['p99_ms']:.2f}ms  "
+        f"p999 {latency['p999_ms']:.2f}ms  max {latency['max_ms']:.2f}ms  "
+        f"achieved {report['achieved_qps']:,.0f} q/s"
+    )
+    if report["drained"] is not None:
+        print(f"drained: {report['drained']}")
+    if args.out is not None:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
@@ -874,6 +1084,10 @@ def main(argv: list[str] | None = None) -> int:
         return _compact_command(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_command(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     return _run_command(argv)

@@ -28,13 +28,17 @@ from repro.graph.traversal import Crossing
 __all__ = ["plan_targets"]
 
 
-def _merge_close_targets(targets: list[PrefetchTarget], merge_distance: float) -> list[PrefetchTarget]:
+def _merge_close_targets(
+    targets: list[PrefetchTarget], merge_distance: float
+) -> list[PrefetchTarget]:
     """Merge targets whose anchors nearly coincide, summing their shares."""
     merged: list[PrefetchTarget] = []
     for target in targets:
         for i, existing in enumerate(merged):
             if float(np.linalg.norm(existing.anchor - target.anchor)) <= merge_distance:
-                combined_direction = existing.direction * existing.share + target.direction * target.share
+                combined_direction = (
+                    existing.direction * existing.share + target.direction * target.share
+                )
                 merged[i] = PrefetchTarget(
                     anchor=(existing.anchor * existing.share + target.anchor * target.share)
                     / (existing.share + target.share),

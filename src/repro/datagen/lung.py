@@ -75,7 +75,9 @@ def _tube_faces(
     return np.array(vertices), faces
 
 
-def _face_adjacency(faces: list[tuple[int, int, int]], face_id_offset: int) -> list[tuple[int, int]]:
+def _face_adjacency(
+    faces: list[tuple[int, int, int]], face_id_offset: int
+) -> list[tuple[int, int]]:
     """Pairs of faces sharing a mesh edge."""
     edge_to_faces: dict[tuple[int, int], list[int]] = {}
     for face_id, (a, b, c) in enumerate(faces):

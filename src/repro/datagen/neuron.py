@@ -91,7 +91,8 @@ def make_neuron_tissue(
         radius_parts.append(tree.radius)
         structure_parts.append(np.full(len(tree.p0), neuron_id, dtype=np.int64))
         branch_parts.append(tree.branch_of_object)
-        branch_offset = int(tree.branch_of_object.max()) + 1 if len(tree.branch_of_object) else branch_offset
+        if len(tree.branch_of_object):
+            branch_offset = int(tree.branch_of_object.max()) + 1
 
         nav_nodes_parts.append(tree.nav_nodes)
         for edge in tree.nav_edges:

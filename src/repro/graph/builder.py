@@ -118,7 +118,9 @@ def build_graph_grid_hash(
 
     if len(object_ids):
         grid = UniformGrid.with_cell_count(region, max(1, int(resolution)))
-        buckets = _sample_segment_cells(grid, object_ids, dataset.p0[object_ids], dataset.p1[object_ids])
+        buckets = _sample_segment_cells(
+            grid, object_ids, dataset.p0[object_ids], dataset.p1[object_ids]
+        )
         work += sum(len(members) for members in buckets.values())
         for members in buckets.values():
             # Pairwise connection of co-located objects; the cost of

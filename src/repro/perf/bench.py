@@ -2,7 +2,7 @@
 
 Times the system's hot paths and writes one ``BENCH_<rev>.json`` per
 git revision, so the repository accumulates a measured performance
-trajectory alongside its correctness tests.  Six suites:
+trajectory alongside its correctness tests.  Seven suites:
 
 * **index_build** -- bulk-load time of the three index types, plus the
   scalar-path FLAT build (whose adjacency preprocessing runs the
@@ -25,7 +25,13 @@ trajectory alongside its correctness tests.  Six suites:
 * **fault_layer** -- the fault-injection wrapper's no-op cost: the
   serving fleet on a bare disk vs a disabled
   :class:`~repro.storage.faults.FaultPlan`, reports required identical,
-  throughput ratio gated by the ``fault_layer_overhead`` budget floor.
+  throughput ratio gated by the ``fault_layer_overhead`` budget floor;
+* **serving_daemon** -- end-to-end throughput of the real asyncio
+  serving surface (:mod:`repro.serve`): an in-process daemon on an
+  ephemeral port driven by the seeded open-loop load generator at a
+  rate far above service capacity, so the achieved q/s measures the
+  daemon's drain rate (protocol framing + admission queue + session
+  stepping), gated by the ``serving_daemon_qps`` budget floor.
 
 Every suite compares against the scalar reference implementations kept
 in :mod:`repro.index.scalar_ref` and
@@ -226,7 +232,9 @@ def bench_prediction(dataset, index, n_queries: int, repeats: int) -> dict[str, 
     }
 
 
-def bench_fig13a(dataset, fanout: int, volumes: list[float], n_sequences: int, n_queries: int) -> dict[str, Any]:
+def bench_fig13a(
+    dataset, fanout: int, volumes: list[float], n_sequences: int, n_queries: int
+) -> dict[str, Any]:
     """A small Fig-13 panel-a sweep (jobs=1), scalar vs vectorized index.
 
     Datasets, indexes and sequences are built outside the timed region,
@@ -385,6 +393,69 @@ def bench_fault_overhead(
     }
 
 
+def bench_serving_daemon(n_requests: int, n_neurons: int) -> dict[str, Any]:
+    """End-to-end throughput of the asyncio serving daemon.
+
+    Boots a :class:`~repro.serve.ServeDaemon` in-process on an ephemeral
+    port and drives it with the seeded open-loop generator at an offered
+    rate far above service capacity, with the admission queue sized to
+    hold the whole backlog.  Nothing is shed, so ``achieved_qps`` is the
+    daemon's drain rate: length-prefixed framing, admission queueing and
+    synchronous session stepping, measured through real sockets.  The
+    request count is deterministic (seeded fixed-count schedule); every
+    request must be answered ``ok`` before the numbers count.
+    """
+    import asyncio
+
+    from repro.serve import DaemonConfig, ServeDaemon, run_loadgen
+
+    config = DaemonConfig(
+        port=0,
+        n_neurons=n_neurons,
+        seed=21,
+        session_pool=8,
+        queries_per_session=16,
+        max_queue=n_requests,
+        report_interval=3600.0,
+    )
+
+    async def drive() -> dict[str, Any]:
+        daemon = ServeDaemon(config)
+        await daemon.start()
+        try:
+            return await run_loadgen(
+                "127.0.0.1",
+                daemon.port,
+                connections=4,
+                process="poisson",
+                rate=1e6,
+                requests=n_requests,
+                seed=42,
+                shutdown=True,
+            )
+        finally:
+            await daemon.shutdown()
+
+    client = asyncio.run(drive())
+    if client["ok"] != n_requests or client["shed"] or client["errors"]:
+        raise AssertionError(
+            f"serving daemon bench expected {n_requests} ok replies, got "
+            f"ok={client['ok']} shed={client['shed']} errors={client['errors']}"
+        )
+    latency = client["latency"]
+    return {
+        "n_requests": n_requests,
+        "n_neurons": n_neurons,
+        "connections": client["connections"],
+        "offered_rate": client["offered_rate"],
+        "achieved_qps": client["achieved_qps"],
+        "p50_ms": latency["p50_ms"],
+        "p99_ms": latency["p99_ms"],
+        "p999_ms": latency["p999_ms"],
+        "drained": bool(client["drained"]),
+    }
+
+
 def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     """Run every suite and assemble the report (does not write it)."""
     if quick:
@@ -412,6 +483,9 @@ def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     report.results["fault_layer"] = bench_fault_overhead(
         dataset, index, n_serve_clients, n_queries=8, repeats=repeats
     )
+    report.results["serving_daemon"] = bench_serving_daemon(
+        n_requests=400 if quick else 1500, n_neurons=8 if quick else 16
+    )
     return report
 
 
@@ -428,6 +502,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
     region = report.results.get("region_query", {})
     serving = report.results.get("serving", {})
     fault_layer = report.results.get("fault_layer", {})
+    daemon = report.results.get("serving_daemon", {})
     measured = {
         # Speedup ratios are the primary gates: scalar baseline and
         # vectorized path run on the same machine in the same bench, so
@@ -440,6 +515,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
         "serving_lockstep_speedup": serving.get("lockstep_speedup", 0.0),
         "serving_lockstep_qps": serving.get("lockstep_qps", 0.0),
         "fault_layer_overhead": fault_layer.get("overhead_ratio", 0.0),
+        "serving_daemon_qps": daemon.get("achieved_qps", 0.0),
     }
     failures = []
     for name, floor in budget.get("floors", {}).items():
@@ -517,5 +593,12 @@ def render_report(report: BenchReport) -> str:
             f"fault layer    : no-op plan {fl['faulty_qps']:,.0f} q/s  "
             f"bare disk {fl['plain_qps']:,.0f} q/s  "
             f"(overhead ratio {fl['overhead_ratio']:.3f}, reports bit-identical)"
+        )
+    if "serving_daemon" in r:
+        d = r["serving_daemon"]
+        lines.append(
+            f"serving daemon : {d['achieved_qps']:,.0f} q/s drain over "
+            f"{d['connections']} connections  p50 {d['p50_ms']:.2f}ms  "
+            f"p99 {d['p99_ms']:.2f}ms  ({d['n_requests']} requests, drained)"
         )
     return "\n".join(lines)

@@ -444,6 +444,24 @@ class QuerySession:
         """Index of the query currently (or next) being processed."""
         return self._cursor
 
+    def renew(self, prefetcher: Prefetcher) -> "QuerySession":
+        """A fresh session on the same sequence, cache, disk and client id.
+
+        The serving daemon's session-reuse hook (DESIGN.md §8): a
+        connection whose session is exhausted wraps around to a new one
+        with fresh prefetcher and metrics state, while the shared cache
+        and disk keep their contents -- exactly what a long-lived client
+        re-navigating its region looks like to the serving plane.
+        """
+        return QuerySession(
+            self.engine,
+            self.sequence,
+            prefetcher,
+            cache=self.cache,
+            disk=self.disk,
+            client_id=self.client_id,
+        )
+
     # -- stepping -------------------------------------------------------------------
 
     def step(self) -> str | None:

@@ -163,7 +163,10 @@ class DiskModel:
             runs = 1 + sum(1 for a, b in zip(pages, pages[1:]) if b != a + 1)
         else:
             runs = len(pages)
-        return runs * params.positioning_s / params.stripe_ways + len(pages) * params.transfer_s_per_page
+        return (
+            runs * params.positioning_s / params.stripe_ways
+            + len(pages) * params.transfer_s_per_page
+        )
 
     def estimate_read_time(self, n_pages: int, contiguous_fraction: float = 0.5) -> float:
         """Cost estimate for ``n_pages`` without reading them.
@@ -179,4 +182,7 @@ class DiskModel:
             raise ValueError("contiguous_fraction must be within [0, 1]")
         params = self.params
         runs = max(1, round(n_pages * (1.0 - contiguous_fraction)))
-        return runs * params.positioning_s / params.stripe_ways + n_pages * params.transfer_s_per_page
+        return (
+            runs * params.positioning_s / params.stripe_ways
+            + n_pages * params.transfer_s_per_page
+        )

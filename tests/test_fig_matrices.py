@@ -190,7 +190,11 @@ class TestDeterminismVsDirectHarness:
         matrix = tiny(fig12_matrix, benches=[bench], prefetchers=(("scout-opt", {}),))
         (cell,) = matrix.cells()
         expected = self._direct(
-            tissue, tissue_index, bench, ScoutOptPrefetcher(tissue, tissue_index, ScoutConfig()), seed=12
+            tissue,
+            tissue_index,
+            bench,
+            ScoutOptPrefetcher(tissue, tissue_index, ScoutConfig()),
+            seed=12,
         )
         assert run_cell(cell).metrics == expected.metrics
 

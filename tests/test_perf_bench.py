@@ -53,6 +53,15 @@ class TestSuites:
             result["round_robin_seconds"] / result["lockstep_seconds"], rel=1e-9
         )
 
+    def test_serving_daemon_suite(self):
+        from repro.perf.bench import bench_serving_daemon
+
+        result = bench_serving_daemon(n_requests=60, n_neurons=6)
+        assert result["n_requests"] == 60
+        assert result["drained"] is True
+        assert result["achieved_qps"] > 0
+        assert result["p50_ms"] <= result["p99_ms"] <= result["p999_ms"]
+
 
 class TestReportAndBudget:
     def make_report(self, batched_qps, single_qps):
@@ -144,6 +153,18 @@ class TestReportAndBudget:
         failures = check_budget(report, path)
         assert failures and "serving_lockstep_speedup" in failures[0]
 
+    def test_serving_daemon_floor_gates_on_achieved_qps(self, tmp_path):
+        report = self.make_report(50_000.0, 9_000.0)
+        report.results["serving_daemon"] = {"achieved_qps": 1_500.0}
+        path = tmp_path / "budget.json"
+        path.write_text(
+            json.dumps({"tolerance": 0.3, "floors": {"serving_daemon_qps": 300}})
+        )
+        assert check_budget(report, path) == []
+        report.results["serving_daemon"]["achieved_qps"] = 100.0
+        failures = check_budget(report, path)
+        assert failures and "serving_daemon_qps" in failures[0]
+
     def test_checked_in_budget_is_loadable(self):
         from pathlib import Path
 
@@ -158,6 +179,7 @@ class TestReportAndBudget:
             "serving_lockstep_speedup",
             "serving_lockstep_qps",
             "fault_layer_overhead",
+            "serving_daemon_qps",
         }
         assert 0.0 < budget["tolerance"] < 1.0
         overhead = budget["floors"]["fault_layer_overhead"]

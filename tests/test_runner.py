@@ -97,7 +97,9 @@ class TestSpecs:
 
     def test_key_differs_when_any_axis_differs(self):
         base = CellSpec(TINY_DATASET, TINY_INDEX, TINY_WORKLOAD, PrefetcherSpec("none"), seed=3)
-        other_seed = CellSpec(TINY_DATASET, TINY_INDEX, TINY_WORKLOAD, PrefetcherSpec("none"), seed=4)
+        other_seed = CellSpec(
+            TINY_DATASET, TINY_INDEX, TINY_WORKLOAD, PrefetcherSpec("none"), seed=4
+        )
         other_sim = CellSpec(
             TINY_DATASET,
             TINY_INDEX,

@@ -35,7 +35,9 @@ def polyline_dataset(points: np.ndarray, pad_objects: int = 300, seed: int = 0) 
         p0=np.array(p0),
         p1=np.array(p1),
         radius=np.zeros(n),
-        structure_id=np.array([0] * (len(points) - 1) + list(range(1, n - len(points) + 2)), dtype=np.int64),
+        structure_id=np.array(
+            [0] * (len(points) - 1) + list(range(1, n - len(points) + 2)), dtype=np.int64
+        ),
         branch_id=np.array(branch, dtype=np.int64),
         nav=nav,
     )

@@ -1,0 +1,328 @@
+"""End-to-end tests of the serving daemon and the open-loop generator.
+
+Everything runs in-process over real sockets on an ephemeral port
+(``port=0``), with ``asyncio.run`` driving one event loop per test --
+what CI's serve-smoke job does across processes, pinned here where the
+daemon's internal counters are also visible:
+
+* the seeded load generator issues a *deterministic request count* for
+  a given ``(process, rate, requests, seed)``, and the daemon's
+  admitted+shed counters partition it exactly;
+* admission control sheds (fast ``shed: true`` replies) instead of
+  queueing without bound when ``max_queue`` is tiny;
+* graceful drain answers every admitted in-flight request before the
+  daemon stops, and the final report says so;
+* an exhausted session renews in place (same walk, fresh phase
+  machine), so a connection can run past ``queries_per_session``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DaemonConfig,
+    ServeDaemon,
+    bursty_arrivals,
+    poisson_arrivals,
+    run_loadgen,
+)
+from repro.serve.protocol import read_frame, write_frame
+
+
+def daemon_config(**overrides) -> DaemonConfig:
+    """A small daemon that boots in well under a second."""
+    defaults = dict(
+        port=0,
+        n_neurons=6,
+        seed=21,
+        session_pool=4,
+        queries_per_session=10,
+        max_queue=64,
+        report_interval=3600.0,
+    )
+    defaults.update(overrides)
+    return DaemonConfig(**defaults)
+
+
+async def _with_daemon(config: DaemonConfig, scenario):
+    """Boot a daemon, run ``scenario(daemon)``, always shut down."""
+    daemon = ServeDaemon(config)
+    await daemon.start()
+    try:
+        return await scenario(daemon)
+    finally:
+        await daemon.shutdown()
+
+
+class TestArrivalSchedules:
+    def test_poisson_deterministic_and_sorted(self):
+        a = poisson_arrivals(200.0, n_requests=50, seed=7)
+        b = poisson_arrivals(200.0, n_requests=50, seed=7)
+        assert np.array_equal(a, b)
+        assert len(a) == 50
+        assert np.all(np.diff(a) > 0)
+        assert poisson_arrivals(200.0, n_requests=50, seed=8)[0] != a[0]
+
+    def test_poisson_duration_mode_count_is_seeded(self):
+        a = poisson_arrivals(500.0, duration=0.5, seed=3)
+        b = poisson_arrivals(500.0, duration=0.5, seed=3)
+        assert np.array_equal(a, b)
+        assert np.all(a <= 0.5)
+
+    def test_bursty_deterministic_and_bounded(self):
+        a = bursty_arrivals(100.0, n_requests=80, seed=5, burst=8.0)
+        b = bursty_arrivals(100.0, n_requests=80, seed=5, burst=8.0)
+        assert np.array_equal(a, b)
+        assert len(a) == 80
+        assert np.all(np.diff(a) >= 0)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # Same offered rate; the on/off process must show heavier
+        # inter-arrival dispersion than the memoryless one.
+        smooth = np.diff(poisson_arrivals(100.0, n_requests=400, seed=11))
+        bursty = np.diff(bursty_arrivals(100.0, n_requests=400, seed=11, burst=16.0))
+        cv = lambda gaps: np.std(gaps) / np.mean(gaps)  # noqa: E731
+        assert cv(bursty) > cv(smooth)
+
+    def test_schedule_argument_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, n_requests=10)
+        with pytest.raises(ValueError):
+            poisson_arrivals(100.0)  # neither count nor duration
+        with pytest.raises(ValueError):
+            poisson_arrivals(100.0, n_requests=10, duration=1.0)  # both
+        with pytest.raises(ValueError):
+            bursty_arrivals(100.0, n_requests=10, burst=0.5)
+
+
+class TestProtocolOps:
+    def test_hello_query_stats_bye(self):
+        async def scenario(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            try:
+                await write_frame(writer, {"op": "hello"})
+                hello = await read_frame(reader)
+                assert hello["ok"] and hello["client_id"] == 0
+                assert hello["n_queries"] == 10
+
+                await write_frame(writer, {"op": "query"})
+                reply = await read_frame(reader)
+                assert reply["ok"]
+                assert reply["query_index"] == 0
+                assert reply["pages_needed"] > 0
+                assert reply["latency_ms"] >= 0
+
+                await write_frame(writer, {"op": "stats"})
+                stats = await read_frame(reader)
+                assert stats["ok"] and stats["requests_admitted"] == 1
+                assert stats["latency"]["count"] == 1
+
+                await write_frame(writer, {"op": "bye"})
+                bye = await read_frame(reader)
+                assert bye["ok"] and bye["bye"]
+            finally:
+                writer.close()
+
+        asyncio.run(_with_daemon(daemon_config(), scenario))
+
+    def test_query_before_hello_is_an_error(self):
+        async def scenario(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            try:
+                await write_frame(writer, {"op": "query"})
+                reply = await read_frame(reader)
+                assert not reply["ok"]
+                assert "hello" in reply["error"]
+            finally:
+                writer.close()
+
+        asyncio.run(_with_daemon(daemon_config(), scenario))
+
+    def test_unknown_op_is_an_error_not_a_disconnect(self):
+        async def scenario(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            try:
+                await write_frame(writer, {"op": "frobnicate"})
+                reply = await read_frame(reader)
+                assert not reply["ok"]
+                # The connection survives the bad op.
+                await write_frame(writer, {"op": "hello"})
+                assert (await read_frame(reader))["ok"]
+            finally:
+                writer.close()
+
+        asyncio.run(_with_daemon(daemon_config(), scenario))
+
+    def test_session_renews_past_exhaustion(self):
+        async def scenario(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            try:
+                await write_frame(writer, {"op": "hello"})
+                await read_frame(reader)
+                n_queries = daemon.config.queries_per_session
+                replies = []
+                for _ in range(2 * n_queries + 3):
+                    await write_frame(writer, {"op": "query"})
+                    replies.append(await read_frame(reader))
+                assert all(r["ok"] for r in replies)
+                # Query indexes wrap: 0..n-1, 0..n-1, 0, 1, 2.
+                indexes = [r["query_index"] for r in replies]
+                assert indexes == (list(range(n_queries)) * 2 + [0, 1, 2])
+                assert replies[-1]["sessions_completed"] == 2
+                assert daemon.sessions_completed == 2
+            finally:
+                writer.close()
+
+        asyncio.run(_with_daemon(daemon_config(), scenario))
+
+
+class TestLoadgenEndToEnd:
+    def test_deterministic_request_count_and_latency_report(self):
+        async def scenario(daemon):
+            return await run_loadgen(
+                "127.0.0.1",
+                daemon.port,
+                connections=3,
+                process="poisson",
+                rate=2000.0,
+                requests=120,
+                seed=42,
+            )
+
+        first = asyncio.run(_with_daemon(daemon_config(), scenario))
+        second = asyncio.run(_with_daemon(daemon_config(), scenario))
+
+        for report in (first, second):
+            assert report["requests"] == 120
+            assert report["ok"] + report["shed"] + report["errors"] == 120
+            assert report["errors"] == 0
+            assert report["client_ids"] == [0, 1, 2]
+        # The seeded schedule fixes the count; wall-clock latencies vary.
+        assert first["requests"] == second["requests"]
+        latency = first["latency"]
+        assert latency["count"] == first["ok"]
+        assert latency["p50_ms"] <= latency["p99_ms"] <= latency["p999_ms"]
+        assert latency["p999_ms"] <= latency["max_ms"]
+
+    def test_bursty_process_drives_the_same_contract(self):
+        async def scenario(daemon):
+            return await run_loadgen(
+                "127.0.0.1",
+                daemon.port,
+                connections=2,
+                process="bursty",
+                rate=500.0,
+                requests=60,
+                seed=9,
+                burst=8.0,
+            )
+
+        report = asyncio.run(_with_daemon(daemon_config(), scenario))
+        assert report["requests"] == 60
+        assert report["ok"] + report["shed"] + report["errors"] == 60
+        assert report["process"] == "bursty"
+        assert report["burst"] == 8.0
+
+    def test_overload_sheds_instead_of_queueing_without_bound(self):
+        async def scenario(daemon):
+            report = await run_loadgen(
+                "127.0.0.1",
+                daemon.port,
+                connections=4,
+                process="poisson",
+                rate=1e6,  # the whole schedule lands at once
+                requests=300,
+                seed=1,
+            )
+            return report, daemon.requests_shed, daemon.requests_admitted
+
+        report, daemon_shed, daemon_admitted = asyncio.run(
+            _with_daemon(daemon_config(max_queue=1), scenario)
+        )
+        assert report["shed"] > 0
+        assert report["ok"] >= 1
+        # Client-observed and daemon-side accounting partition the offered
+        # load exactly.
+        assert report["shed"] == daemon_shed
+        assert report["ok"] == daemon_admitted
+        assert daemon_admitted + daemon_shed == 300
+
+    def test_graceful_drain_answers_in_flight_requests(self):
+        async def scenario(daemon):
+            # Pipeline a burst, then request shutdown on a second
+            # connection while the worker is still draining the queue.
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            await write_frame(writer, {"op": "hello"})
+            await read_frame(reader)
+            n_inflight = 40
+            for _ in range(n_inflight):
+                await write_frame(writer, {"op": "query"})
+
+            ctl_reader, ctl_writer = await asyncio.open_connection(
+                "127.0.0.1", daemon.port
+            )
+            await write_frame(ctl_writer, {"op": "shutdown"})
+            ack = await read_frame(ctl_reader)
+            assert ack["ok"] and ack["draining"]
+
+            replies = []
+            for _ in range(n_inflight):
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                replies.append(frame)
+            writer.close()
+            ctl_writer.close()
+            await asyncio.wait_for(daemon._stopped.wait(), timeout=10)
+            return replies, daemon.final_report()
+
+        replies, final = asyncio.run(_with_daemon(daemon_config(), scenario))
+        # Every request admitted before the drain got a real answer.
+        answered = [r for r in replies if r.get("ok")]
+        shed = [r for r in replies if r.get("shed")]
+        assert len(answered) == final["requests_admitted"]
+        assert len(shed) == final["requests_shed"]
+        assert len(answered) >= 1
+        assert final["drained"] is True
+        assert final["latency"]["count"] == final["requests_admitted"]
+
+    def test_shutdown_via_loadgen_flag(self):
+        async def scenario(daemon):
+            report = await run_loadgen(
+                "127.0.0.1",
+                daemon.port,
+                connections=2,
+                process="poisson",
+                rate=2000.0,
+                requests=40,
+                seed=4,
+                shutdown=True,
+            )
+            await asyncio.wait_for(daemon._stopped.wait(), timeout=10)
+            return report, daemon.final_report()
+
+        report, final = asyncio.run(_with_daemon(daemon_config(), scenario))
+        assert report["drained"] is True
+        assert final["drained"] is True
+        assert final["requests_admitted"] == report["ok"] == 40
+
+
+class TestDaemonConfigValidation:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ServeDaemon(daemon_config(max_queue=0))
+        with pytest.raises(ValueError):
+            ServeDaemon(daemon_config(session_pool=0))
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            ServeDaemon(daemon_config(prefetcher="oracle"))
+
+    def test_fault_rate_wraps_the_disk(self):
+        daemon = ServeDaemon(daemon_config(fault_rate=0.05))
+        assert daemon.sim_config.faults is not None
+        assert daemon.final_report()["faults_active"] is True
