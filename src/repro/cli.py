@@ -22,7 +22,10 @@ the cross-domain applicability grid (lung/arterial/roads datasets),
 counts x prefetchers x ``--cache-pages`` shared-cache sizes, optionally
 under ``--contention hotspot``), ``--figure chaos`` for the
 fault-injection serving grid (fault rate x prefetcher x circuit
-breaker on/off over a seeded faulty disk) -- into experiment cells,
+breaker on/off over a seeded faulty disk), ``--figure tiers`` for the
+tiered-storage serving grid (prefetcher x miss-path mechanism x tier
+size over a :class:`~repro.storage.tiered.TieredStore`) -- into
+experiment cells,
 fans them out over ``--jobs`` worker processes,
 persists every finished cell to a JSON-lines store keyed by the cell
 spec's content hash, and renders figure tables from the stored results.
@@ -68,6 +71,7 @@ import sys
 
 from repro.quickstart import quick_experiment
 from repro.sim.serve import LOCKSTEP_ENV
+from repro.storage.tiered import MISS_PATHS, STORAGE_BACKENDS
 from repro.workload import MICROBENCHMARKS
 
 __all__ = ["main"]
@@ -137,13 +141,13 @@ def _parse_shard(value: str) -> tuple[int, int]:
 
 def _parse_figure(value: str):
     """``--figure`` value: a figure number, or a named grid."""
-    if value in ("clients", "chaos"):
+    if value in ("clients", "chaos", "tiers"):
         return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"figure must be 10|11|12|13|17|clients|chaos, got {value!r}"
+            f"figure must be 10|11|12|13|17|clients|chaos|tiers, got {value!r}"
         ) from None
 
 
@@ -157,15 +161,17 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--figure",
         type=_parse_figure,
-        choices=[10, 11, 12, 13, 17, "clients", "chaos"],
+        choices=[10, 11, 12, 13, 17, "clients", "chaos", "tiers"],
         default=13,
         help="which evaluation grid to sweep: the Fig-10 microbenchmark "
         "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
         "the Fig-13 sensitivity panels (default), the Fig-17 "
         "cross-domain applicability grid (lung/arterial/roads), the "
         "'clients' grid (N concurrent sessions over one shared cache), "
-        "or the 'chaos' grid (serving under an injected-fault disk: "
-        "fault rate x prefetcher x circuit breaker on/off)",
+        "the 'chaos' grid (serving under an injected-fault disk: "
+        "fault rate x prefetcher x circuit breaker on/off), or the "
+        "'tiers' grid (serving over a tiered store: prefetcher x "
+        "miss-path mechanism x tier size)",
     )
     parser.add_argument(
         "--panels",
@@ -510,6 +516,56 @@ def _render_chaos_tables(grids, results) -> None:
         print(degraded.render())
 
 
+def _tiers_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import TIER_SIZES, tiers_matrix
+
+    kwargs = {}
+    if args.neurons is not None:
+        kwargs["n_neurons"] = args.neurons
+    # One grid group per tier size, so each renders as one table.
+    return [
+        (
+            f"tier {size} pages",
+            tiers_matrix(
+                tier_sizes=(size,),
+                workload_seed=21 if args.seed is None else args.seed,
+                **kwargs,
+            ),
+        )
+        for size in TIER_SIZES
+    ]
+
+
+def _render_tiers_tables(grids, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import tiers_path_of
+
+    offset = 0
+    for label, cells in grids:
+        panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
+        offset += len(cells)
+        hit = sweep_table(
+            f"Tiers sweep -- {label} -- aggregate hit rate [%]",
+            panel_results,
+            column_of=lambda r: tiers_path_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+            figure_id="tiers",
+        )
+        absorbed = sweep_table(
+            f"Tiers sweep -- {label} -- tier + miss-path hits (absorbed reads)",
+            panel_results,
+            column_of=lambda r: tiers_path_of(r.spec),
+            row_of=_prefetcher_label,
+            value_of=lambda r: (r.metrics.tier_hits or 0) + (r.metrics.miss_path_hits or 0),
+            precision=0,
+        )
+        print()
+        print(hit.render())
+        print()
+        print(absorbed.render())
+
+
 def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     from repro.workload.sweeps import FIGURE_MATRICES
 
@@ -619,7 +675,7 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--timeout must be positive, got {args.timeout}")
     # Refuse mixed-figure flags loudly: running the wrong (possibly
     # much larger) grid is worse than an argparse error.
-    if args.figure in (13, 17, "clients", "chaos") and args.benches is not None:
+    if args.figure in (13, 17, "clients", "chaos", "tiers") and args.benches is not None:
         parser.error("--benches applies to --figure 10|11|12; use --panels for Figs 13/17")
     if args.figure not in (13, 17) and args.panels is not None:
         parser.error(f"--panels applies to --figure 13|17, not --figure {args.figure}")
@@ -629,7 +685,8 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--datasets applies to --figure 17, not --figure {args.figure}")
     if args.figure == 17 and args.neurons is not None:
         parser.error(
-            "--neurons applies to the neuron-tissue grids (figures 10-13, clients, chaos)"
+            "--neurons applies to the neuron-tissue grids "
+            "(figures 10-13, clients, chaos, tiers)"
         )
     if args.figure != "clients":
         if args.clients is not None:
@@ -642,12 +699,12 @@ def _sweep_command(argv: list[str]) -> int:
             parser.error(
                 f"--contention applies to --figure clients, not --figure {args.figure}"
             )
-        if args.lockstep and args.figure != "chaos":
+        if args.lockstep and args.figure not in ("chaos", "tiers"):
             parser.error(
-                f"--lockstep applies to the serving grids (clients, chaos), "
+                f"--lockstep applies to the serving grids (clients, chaos, tiers), "
                 f"not --figure {args.figure}"
             )
-    if args.figure in ("clients", "chaos") and args.sequences is not None:
+    if args.figure in ("clients", "chaos", "tiers") and args.sequences is not None:
         parser.error(f"--sequences does not apply to --figure {args.figure} "
                      "(each client runs one session)")
     if args.lockstep:
@@ -667,6 +724,8 @@ def _sweep_command(argv: list[str]) -> int:
         grids = _clients_grids(args, parser)
     elif args.figure == "chaos":
         grids = _chaos_grids(args, parser)
+    elif args.figure == "tiers":
+        grids = _tiers_grids(args, parser)
     else:
         grids = _microbenchmark_grids(args)
     if grids is None:
@@ -687,6 +746,7 @@ def _sweep_command(argv: list[str]) -> int:
             fig17_dataset_of,
             microbenchmark_of,
             serve_clients_of,
+            tiers_path_of,
         )
 
         for label, cells in grids:
@@ -699,6 +759,8 @@ def _sweep_command(argv: list[str]) -> int:
                     axis = f"clients={serve_clients_of(cell.to_dict())}"
                 elif args.figure == "chaos":
                     axis = f"rate={chaos_rate_of(cell.to_dict()):g}"
+                elif args.figure == "tiers":
+                    axis = f"miss-path={tiers_path_of(cell.to_dict())}"
                 else:
                     axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
                 print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
@@ -733,6 +795,8 @@ def _sweep_command(argv: list[str]) -> int:
         _render_clients_tables(grids, report.results)
     elif args.figure == "chaos":
         _render_chaos_tables(grids, report.results)
+    elif args.figure == "tiers":
+        _render_tiers_tables(grids, report.results)
     else:
         _render_microbenchmark_tables(args.figure, report.results)
 
@@ -940,6 +1004,34 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="transient-read fault rate; > 0 serves through a seeded "
         "FaultyDiskModel with per-client circuit breakers",
     )
+    parser.add_argument(
+        "--storage",
+        choices=sorted(STORAGE_BACKENDS),
+        default="ram",
+        help="page-store backend behind the cache: 'ram' keeps the "
+        "analytic DiskModel only; 'mmap' backs it with a real on-disk "
+        "page file (checksummed slots, torn-write detection)",
+    )
+    parser.add_argument(
+        "--miss-path",
+        choices=list(MISS_PATHS),
+        default="none",
+        help="miss-path mechanism between the cache and the backing "
+        "store (DESIGN.md §9)",
+    )
+    parser.add_argument(
+        "--tier-pages",
+        type=int,
+        default=0,
+        help="second-tier cache capacity in pages (0 disables the tier)",
+    )
+    parser.add_argument(
+        "--pagefile",
+        default=None,
+        metavar="PATH",
+        help="page-file path for --storage mmap (reused if it exists; "
+        "default: a fresh temp file, removed at shutdown)",
+    )
     return parser
 
 
@@ -956,6 +1048,10 @@ def _serve_command(argv: list[str]) -> int:
         parser.error(f"--pool must be >= 1, got {args.pool}")
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be within [0, 1], got {args.fault_rate}")
+    if args.tier_pages < 0:
+        parser.error(f"--tier-pages must be >= 0, got {args.tier_pages}")
+    if args.pagefile is not None and args.storage != "mmap":
+        parser.error("--pagefile applies to --storage mmap only")
     config = DaemonConfig(
         host=args.host,
         port=args.port,
@@ -970,6 +1066,10 @@ def _serve_command(argv: list[str]) -> int:
         report_interval=args.report_interval,
         report_path=args.report,
         fault_rate=args.fault_rate,
+        storage=args.storage,
+        miss_path=args.miss_path,
+        tier_pages=args.tier_pages,
+        pagefile=args.pagefile,
     )
     daemon = ServeDaemon(config)
     try:

@@ -2,7 +2,7 @@
 
 Times the system's hot paths and writes one ``BENCH_<rev>.json`` per
 git revision, so the repository accumulates a measured performance
-trajectory alongside its correctness tests.  Seven suites:
+trajectory alongside its correctness tests.  Eight suites:
 
 * **index_build** -- bulk-load time of the three index types, plus the
   scalar-path FLAT build (whose adjacency preprocessing runs the
@@ -26,6 +26,12 @@ trajectory alongside its correctness tests.  Seven suites:
   serving fleet on a bare disk vs a disabled
   :class:`~repro.storage.faults.FaultPlan`, reports required identical,
   throughput ratio gated by the ``fault_layer_overhead`` budget floor;
+* **storage_tiers** -- the tiered-storage wrapper's pass-through cost:
+  the serving fleet on a bare disk vs a disabled
+  :class:`~repro.storage.tiered.TieredStore`, reports required
+  identical, throughput ratio gated by the ``storage_tiers_overhead``
+  budget floor (an active combined-miss-path tier is timed for the
+  record);
 * **serving_daemon** -- end-to-end throughput of the real asyncio
   serving surface (:mod:`repro.serve`): an in-process daemon on an
   ephemeral port driven by the seeded open-loop load generator at a
@@ -393,6 +399,80 @@ def bench_fault_overhead(
     }
 
 
+def bench_storage_tiers(
+    dataset, index, n_clients: int, n_queries: int, repeats: int
+) -> dict[str, Any]:
+    """Cost of the tiered-storage layer when tiering is disabled.
+
+    Runs the serving fleet twice under the lockstep scheduler: once on
+    the bare :class:`~repro.storage.disk.DiskModel` and once behind a
+    :class:`~repro.storage.tiered.TieredStore` built from the default
+    :class:`~repro.storage.tiered.StorageSpec` (no tier, no miss path)
+    -- the pass-through configuration DESIGN.md §9 requires to be
+    bit-identical to the bare disk.  Both reports must match apart from
+    the ``tiers_active`` flag before any timing counts;
+    ``overhead_ratio`` is the tiered side's throughput as a fraction of
+    the plain side's (1.0 = free), gated by the
+    ``storage_tiers_overhead`` budget floor.  An active configuration
+    (combined miss path over a small tier) is also timed for the
+    record, but not gated: its work depends on the workload's reuse.
+    """
+    from repro.storage.tiered import StorageSpec
+
+    clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=21,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode="hotspot",
+        stagger=0,
+        hot_pool=8,
+    )
+    plain_sim = ServingSimulator(index)
+    tiered_sim = ServingSimulator(index, SimulationConfig(storage=StorageSpec()))
+    active_sim = ServingSimulator(
+        index,
+        SimulationConfig(storage=StorageSpec(miss_path="combined", tier_pages=32)),
+    )
+
+    def fleet():
+        return [EWMAPrefetcher(lam=0.3) for _ in clients]
+
+    def run_plain():
+        return plain_sim.run(clients, fleet(), lockstep=True)
+
+    def run_tiered():
+        return tiered_sim.run(clients, fleet(), lockstep=True)
+
+    def run_active():
+        return active_sim.run(clients, fleet(), lockstep=True)
+
+    plain_report = asdict(run_plain())
+    tiered_report = asdict(run_tiered())
+    plain_report.pop("tiers_active")
+    tiered_report.pop("tiers_active")
+    if plain_report != tiered_report:
+        raise AssertionError("disabled storage tier changed the serve report")
+
+    plain_s = _best_of(run_plain, repeats)
+    tiered_s = _best_of(run_tiered, repeats)
+    active_s = _best_of(run_active, repeats)
+    n_total = n_clients * n_queries
+    return {
+        "n_clients": n_clients,
+        "n_queries_per_client": n_queries,
+        "plain_seconds": plain_s,
+        "tiered_seconds": tiered_s,
+        "active_seconds": active_s,
+        "plain_qps": n_total / plain_s,
+        "tiered_qps": n_total / tiered_s,
+        "active_qps": n_total / active_s,
+        "overhead_ratio": plain_s / tiered_s,
+        "reports_bit_identical": True,
+    }
+
+
 def bench_serving_daemon(n_requests: int, n_neurons: int) -> dict[str, Any]:
     """End-to-end throughput of the asyncio serving daemon.
 
@@ -483,6 +563,9 @@ def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     report.results["fault_layer"] = bench_fault_overhead(
         dataset, index, n_serve_clients, n_queries=8, repeats=repeats
     )
+    report.results["storage_tiers"] = bench_storage_tiers(
+        dataset, index, n_serve_clients, n_queries=8, repeats=repeats
+    )
     report.results["serving_daemon"] = bench_serving_daemon(
         n_requests=400 if quick else 1500, n_neurons=8 if quick else 16
     )
@@ -502,6 +585,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
     region = report.results.get("region_query", {})
     serving = report.results.get("serving", {})
     fault_layer = report.results.get("fault_layer", {})
+    storage_tiers = report.results.get("storage_tiers", {})
     daemon = report.results.get("serving_daemon", {})
     measured = {
         # Speedup ratios are the primary gates: scalar baseline and
@@ -515,6 +599,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
         "serving_lockstep_speedup": serving.get("lockstep_speedup", 0.0),
         "serving_lockstep_qps": serving.get("lockstep_qps", 0.0),
         "fault_layer_overhead": fault_layer.get("overhead_ratio", 0.0),
+        "storage_tiers_overhead": storage_tiers.get("overhead_ratio", 0.0),
         "serving_daemon_qps": daemon.get("achieved_qps", 0.0),
     }
     failures = []
@@ -593,6 +678,14 @@ def render_report(report: BenchReport) -> str:
             f"fault layer    : no-op plan {fl['faulty_qps']:,.0f} q/s  "
             f"bare disk {fl['plain_qps']:,.0f} q/s  "
             f"(overhead ratio {fl['overhead_ratio']:.3f}, reports bit-identical)"
+        )
+    if "storage_tiers" in r:
+        st = r["storage_tiers"]
+        lines.append(
+            f"storage tiers  : disabled {st['tiered_qps']:,.0f} q/s  "
+            f"bare disk {st['plain_qps']:,.0f} q/s  "
+            f"active {st['active_qps']:,.0f} q/s  "
+            f"(overhead ratio {st['overhead_ratio']:.3f}, reports bit-identical)"
         )
     if "serving_daemon" in r:
         d = r["serving_daemon"]

@@ -38,6 +38,7 @@ from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
 from repro.sim.metrics import LatencyReport
 from repro.storage.cache import PrefetchCache
 from repro.storage.faults import FaultPlan
+from repro.storage.tiered import StorageSpec, TieredStore
 from repro.workload.multiclient import multiclient_sessions
 
 __all__ = ["DaemonConfig", "ServeDaemon"]
@@ -74,6 +75,17 @@ class DaemonConfig:
     #: Transient-read fault rate; > 0 wraps the disk in a seeded
     #: :class:`~repro.storage.faults.FaultyDiskModel` (breakers armed).
     fault_rate: float = 0.0
+    #: Page-store backend: ``ram`` (analytic disk model only) or ``mmap``
+    #: (a real on-disk :class:`~repro.storage.pagefile.PageFile` behind
+    #: the :class:`~repro.storage.tiered.TieredStore`).
+    storage: str = "ram"
+    #: Miss-path mechanism between cache and backing store (DESIGN.md §9).
+    miss_path: str = "none"
+    #: Storage-side tier cache capacity in pages; 0 disables the tier.
+    tier_pages: int = 0
+    #: Page-file path for the ``mmap`` backend (``None``: a private temp
+    #: file, removed at shutdown).
+    pagefile: str | None = None
 
 
 def _prefetcher_factory(name: str, dataset, index):
@@ -146,12 +158,25 @@ class ServeDaemon:
                 corrupt_rate=config.fault_rate / 2.0,
                 seed=config.seed,
             )
+        storage = None
+        if config.storage != "ram" or config.miss_path != "none" or config.tier_pages > 0:
+            storage = StorageSpec(
+                backend=config.storage,
+                miss_path=config.miss_path,
+                tier_pages=config.tier_pages,
+                path=config.pagefile,
+            )
         self.sim_config = SimulationConfig(
-            cache_capacity_pages=config.cache_pages, faults=faults
+            cache_capacity_pages=config.cache_pages, faults=faults, storage=storage
         )
         self.engine = SimulationEngine(self.index, self.sim_config)
         self.cache = PrefetchCache(self.sim_config.cache_capacity_for(self.index))
         self.disk = self.sim_config.build_disk()
+        if isinstance(self.disk, TieredStore):
+            # Sessions would bind lazily, but the daemon serves pages from
+            # its very first query -- materialize the page file up front so
+            # a bad --pagefile fails at boot, not mid-request.
+            self.disk.bind_page_table(self.index.page_table)
         self.pool = multiclient_sessions(
             self.dataset,
             n_clients=config.session_pool,
@@ -266,6 +291,8 @@ class ServeDaemon:
         for writer in list(self._writers):
             with contextlib.suppress(ConnectionError):
                 writer.close()
+        if isinstance(self.disk, TieredStore):
+            self.disk.close()
         self._stopped.set()
 
     def final_report(self) -> dict:
@@ -288,7 +315,28 @@ class ServeDaemon:
                 "insertions": self.cache.insertions,
             },
             "faults_active": self.sim_config.faults is not None,
+            "storage": self._storage_report(),
         }
+
+    def _storage_report(self) -> dict:
+        """The tiered-store slice of the final report (stats survive close)."""
+        report: dict = {
+            "backend": self.config.storage,
+            "miss_path": self.config.miss_path,
+            "tier_pages": self.config.tier_pages,
+        }
+        if isinstance(self.disk, TieredStore):
+            ts = self.disk.tier_stats
+            report.update(
+                requests=ts.requests,
+                tier_hits=ts.tier_hits,
+                miss_path_hits=ts.mechanism_hits,
+                backing_pages=ts.backing_pages,
+                stall_seconds=ts.stall_seconds,
+                torn_detected=ts.torn_detected,
+                torn_repaired=ts.torn_repaired,
+            )
+        return report
 
     # -- background tasks --------------------------------------------------------
 

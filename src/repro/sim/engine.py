@@ -40,9 +40,25 @@ from repro.sim.metrics import QueryRecord, SequenceMetrics
 from repro.storage.cache import ArrayCache, PrefetchCache
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
+from repro.storage.tiered import StorageSpec, TieredStore, make_storage
 from repro.workload.sequence import QuerySequence
 
-__all__ = ["QuerySession", "SimulationConfig", "SimulationEngine"]
+__all__ = ["QuerySession", "SimulationConfig", "SimulationEngine", "fault_surface"]
+
+
+def fault_surface(disk) -> FaultyDiskModel | None:
+    """The disk's fault plane, seen through any tier wrapper.
+
+    The engine needs the :class:`FaultyDiskModel` recovery surface
+    (``verify_delivery`` / ``recover_read``) whether the session's disk
+    is the fault model itself or a :class:`TieredStore` wrapping one;
+    returns ``None`` for a bare, never-failing disk.
+    """
+    if isinstance(disk, FaultyDiskModel):
+        return disk
+    if isinstance(disk, TieredStore):
+        return disk.fault_disk
+    return None
 
 
 class _SharedProbeStream:
@@ -158,16 +174,27 @@ class SimulationConfig:
     #: injecting anything -- bit-identical metrics, measurable overhead.
     faults: FaultPlan | None = None
 
+    #: Tiered-storage spec wrapped around every disk this config builds
+    #: (``None`` keeps the bare model).  A present spec with tiering
+    #: disabled (no tier pages, ``miss_path="none"``) is a pure
+    #: pass-through -- bit-identical metrics, like an all-zero fault
+    #: plan (DESIGN.md §9).
+    storage: StorageSpec | None = None
+
     def cache_capacity_for(self, index: SpatialIndex) -> int:
         if self.cache_capacity_pages is not None:
             return self.cache_capacity_pages
         return max(256, int(0.12 * index.n_pages))
 
-    def build_disk(self) -> DiskModel | FaultyDiskModel:
-        """The disk this config prescribes: bare, or fault-wrapped."""
+    def build_disk(self) -> DiskModel | FaultyDiskModel | TieredStore:
+        """The disk this config prescribes: bare, fault-wrapped, tiered."""
         if self.faults is None:
-            return DiskModel(self.disk)
-        return FaultyDiskModel(self.disk, self.faults)
+            disk: DiskModel | FaultyDiskModel = DiskModel(self.disk)
+        else:
+            disk = FaultyDiskModel(self.disk, self.faults)
+        if self.storage is None:
+            return disk
+        return make_storage(disk, self.storage)
 
 
 class _BatchedProbes:
@@ -287,7 +314,7 @@ class SimulationEngine:
         # insert (read-repair); a propagating ReadFailure is enriched
         # with the partial work already done so the caller can account
         # the window's actual spending.
-        faulty = isinstance(disk, FaultyDiskModel)
+        faulty = fault_surface(disk) is not None
         page_table = self.index.page_table if faulty else None
         if probes is None:
             side = float(np.cbrt(max(query.bounds.volume, 1e-30)))
@@ -420,7 +447,19 @@ class QuerySession:
         # behind an open circuit breaker.
         self.failed_reads = 0
         self.degraded_ticks = 0
-        self._fault_disk = self.disk if isinstance(self.disk, FaultyDiskModel) else None
+        # Tiered-storage accounting (DESIGN.md §9): this session's share
+        # of the store's per-layer counters, attributed by snapshotting
+        # the store around the session's own (synchronous) disk phases.
+        self.tier_hits = 0
+        self.miss_path_hits = 0
+        self.tier_fills = 0
+        self.tier_stall_seconds = 0.0
+        self._fault_disk = fault_surface(self.disk)
+        self._tier_store: TieredStore | None = None
+        if isinstance(self.disk, TieredStore):
+            self.disk.bind_page_table(engine.index.page_table)
+            if self.disk.tiering_active:
+                self._tier_store = self.disk
         self._breaker: CircuitBreaker | None = None
         if self._fault_disk is not None and self._fault_disk.plan.breaker:
             plan = self._fault_disk.plan
@@ -431,6 +470,28 @@ class QuerySession:
     def breaker_opens(self) -> int:
         """How many times this client's circuit breaker tripped."""
         return 0 if self._breaker is None else self._breaker.opens
+
+    # -- tiered-storage attribution ---------------------------------------------------
+
+    def _tier_mark(self):
+        """Snapshot the shared store's counters before this session's I/O.
+
+        Disk operations within one phase are synchronous -- no other
+        session runs between the mark and the matching collect under
+        either scheduler -- so the counter delta is exactly this
+        session's share of the store's per-layer activity.
+        """
+        store = self._tier_store
+        return None if store is None else store.tier_stats.snapshot()
+
+    def _tier_collect(self, mark) -> None:
+        if mark is None:
+            return
+        now = self._tier_store.tier_stats
+        self.tier_hits += now.tier_hits - mark.tier_hits
+        self.miss_path_hits += now.mechanism_hits - mark.mechanism_hits
+        self.tier_fills += now.backing_pages - mark.backing_pages
+        self.tier_stall_seconds += now.stall_seconds - mark.stall_seconds
 
     # -- state ----------------------------------------------------------------------
 
@@ -589,6 +650,7 @@ class QuerySession:
         miss_pages = pages[~hit_mask]
         fault_disk = self._fault_disk
         miss_failed = False
+        tier_mark = self._tier_mark()
         if fault_disk is None:
             residual = self.disk.read_pages(miss_pages)
         else:
@@ -600,6 +662,7 @@ class QuerySession:
                 # the recovery read to residual time.
                 residual = failure.seconds + fault_disk.recover_read(miss_pages)
                 miss_failed = True
+        self._tier_collect(tier_mark)
 
         n_hits = int(hit_pages.size)
         self.shared_hits += n_hits
@@ -773,6 +836,7 @@ class QuerySession:
         degraded = bool(ctx.get("degraded"))
 
         if not degraded:
+            tier_mark = self._tier_mark()
             try:
                 prefetch_pages, prefetch_seconds, gap_pages_used = self._spend_window(
                     ctx, budget
@@ -787,6 +851,7 @@ class QuerySession:
                 prefetch_seconds = failure.prior_seconds + failure.seconds
                 gap_pages_used = failure.gap_pages_used
                 prefetch_failed = True
+            self._tier_collect(tier_mark)
             if self._breaker is not None:
                 if prefetch_failed:
                     self._breaker.record_failure()

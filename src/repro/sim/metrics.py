@@ -169,6 +169,14 @@ class AggregateMetrics:
     failed_reads: int | None = None
     degraded_ticks: int | None = None
     breaker_opens: int | None = None
+    #: Tiered-storage counters (DESIGN.md §9): populated only by cells
+    #: run with an active storage tier; ``None`` (and omitted from
+    #: persisted records) everywhere else, so tier-free stores stay
+    #: byte-identical.
+    tier_hits: int | None = None
+    miss_path_hits: int | None = None
+    tier_fills: int | None = None
+    tier_stall_seconds: float | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -205,6 +213,15 @@ class ClientMetrics:
     failed_reads: int = 0
     degraded_ticks: int = 0
     breaker_opens: int = 0
+    #: Tiered-storage accounting (zero without an active storage tier):
+    #: this client's requests absorbed by the storage-side tier cache,
+    #: by the miss-path mechanisms below it, the pages it pulled from
+    #: the backing store, and its share of the simulated fill stalls
+    #: (DESIGN.md §9).
+    tier_hits: int = 0
+    miss_path_hits: int = 0
+    tier_fills: int = 0
+    tier_stall_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -235,6 +252,9 @@ class ServeReport:
     #: counters' persistence: fault-free serving cells keep serializing
     #: without them, so existing stored records stay byte-identical.
     faults_active: bool = False
+    #: Whether the run's disk carried an active storage tier; gates the
+    #: tier counters' persistence the same way (DESIGN.md §9).
+    tiers_active: bool = False
 
     @property
     def n_clients(self) -> int:
@@ -283,6 +303,26 @@ class ServeReport:
         """Circuit-breaker trips across the fleet."""
         return sum(client.breaker_opens for client in self.clients)
 
+    @property
+    def tier_hits(self) -> int:
+        """Requests absorbed by the storage-side tier cache, fleet-wide."""
+        return sum(client.tier_hits for client in self.clients)
+
+    @property
+    def miss_path_hits(self) -> int:
+        """Requests absorbed by the miss-path mechanisms, fleet-wide."""
+        return sum(client.miss_path_hits for client in self.clients)
+
+    @property
+    def tier_fills(self) -> int:
+        """Pages pulled from the backing store into the tier, fleet-wide."""
+        return sum(client.tier_fills for client in self.clients)
+
+    @property
+    def tier_stall_seconds(self) -> float:
+        """Simulated fill-stall seconds charged, fleet-wide."""
+        return sum(client.tier_stall_seconds for client in self.clients)
+
     def to_aggregate(self) -> AggregateMetrics:
         """Pool the clients exactly like sequences of one experiment cell.
 
@@ -306,6 +346,14 @@ class ServeReport:
                 failed_reads=self.failed_reads,
                 degraded_ticks=self.degraded_ticks,
                 breaker_opens=self.breaker_opens,
+            )
+        if self.tiers_active:
+            pooled = replace(
+                pooled,
+                tier_hits=self.tier_hits,
+                miss_path_hits=self.miss_path_hits,
+                tier_fills=self.tier_fills,
+                tier_stall_seconds=self.tier_stall_seconds,
             )
         return pooled
 

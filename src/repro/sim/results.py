@@ -144,6 +144,14 @@ def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
         data["degraded_ticks"] = int(metrics.degraded_ticks)
     if metrics.breaker_opens is not None:
         data["breaker_opens"] = int(metrics.breaker_opens)
+    if metrics.tier_hits is not None:
+        data["tier_hits"] = int(metrics.tier_hits)
+    if metrics.miss_path_hits is not None:
+        data["miss_path_hits"] = int(metrics.miss_path_hits)
+    if metrics.tier_fills is not None:
+        data["tier_fills"] = int(metrics.tier_fills)
+    if metrics.tier_stall_seconds is not None:
+        data["tier_stall_seconds"] = float(metrics.tier_stall_seconds)
     return data
 
 
@@ -174,6 +182,16 @@ def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
         ),
         breaker_opens=(
             None if data.get("breaker_opens") is None else int(data["breaker_opens"])
+        ),
+        tier_hits=(None if data.get("tier_hits") is None else int(data["tier_hits"])),
+        miss_path_hits=(
+            None if data.get("miss_path_hits") is None else int(data["miss_path_hits"])
+        ),
+        tier_fills=(None if data.get("tier_fills") is None else int(data["tier_fills"])),
+        tier_stall_seconds=(
+            None
+            if data.get("tier_stall_seconds") is None
+            else float(data["tier_stall_seconds"])
         ),
     )
 

@@ -84,6 +84,7 @@ from repro.sim.results import (
 )
 from repro.storage.disk import DiskParameters
 from repro.storage.faults import FAULT_PREFETCHER_BUILDERS, FaultPlan
+from repro.storage.tiered import StorageSpec
 from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
 
@@ -251,6 +252,12 @@ class CellSpec:
     :class:`~repro.storage.faults.FaultyDiskModel` compiled from the
     plan.  Like ``serve``, an empty ``faults`` is omitted from
     serialization, so fault-free cells keep their content hash.
+
+    ``storage`` holds :class:`~repro.storage.tiered.StorageSpec` field
+    overrides: when non-empty, the cell's disk is wrapped in a
+    :class:`~repro.storage.tiered.TieredStore` (DESIGN.md §9).  Like
+    ``faults``, an empty ``storage`` is omitted from serialization, so
+    tier-free cells keep their content hash.
     """
 
     dataset: DatasetSpec
@@ -261,6 +268,7 @@ class CellSpec:
     sim: Mapping[str, Any] = field(default_factory=dict)
     serve: Mapping[str, Any] = field(default_factory=dict)
     faults: Mapping[str, Any] = field(default_factory=dict)
+    storage: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -275,6 +283,8 @@ class CellSpec:
             data["serve"] = dict(self.serve)
         if self.faults:
             data["faults"] = dict(self.faults)
+        if self.storage:
+            data["storage"] = dict(self.storage)
         return data
 
     @classmethod
@@ -290,6 +300,7 @@ class CellSpec:
             sim=dict(data.get("sim", {})),
             serve=dict(data.get("serve", {})),
             faults=dict(data.get("faults", {})),
+            storage=dict(data.get("storage", {})),
         )
 
     def key(self) -> str:
@@ -440,9 +451,11 @@ def _memoized(memo: OrderedDict, key: str, build: Callable[[], Any]):
 
 
 def _sim_config(
-    sim: Mapping[str, Any], faults: Mapping[str, Any] = ()
+    sim: Mapping[str, Any],
+    faults: Mapping[str, Any] = (),
+    storage: Mapping[str, Any] = (),
 ) -> SimulationConfig | None:
-    if not sim and not faults:
+    if not sim and not faults and not storage:
         return None
     kwargs = dict(sim)
     disk = kwargs.pop("disk", None)
@@ -450,6 +463,8 @@ def _sim_config(
         kwargs["disk"] = DiskParameters(**disk)
     if faults:
         kwargs["faults"] = FaultPlan.from_dict(faults)
+    if storage:
+        kwargs["storage"] = StorageSpec.from_dict(storage)
     return SimulationConfig(**kwargs)
 
 
@@ -498,7 +513,7 @@ def prepare_cell(spec: CellSpec):
         window_ratio=w.window_ratio,
     )
     prefetcher = spec.prefetcher.build(dataset, index)
-    return index, sequences, prefetcher, _sim_config(spec.sim, spec.faults)
+    return index, sequences, prefetcher, _sim_config(spec.sim, spec.faults, spec.storage)
 
 
 def prepare_serving_cell(spec: CellSpec):
@@ -542,7 +557,7 @@ def prepare_serving_cell(spec: CellSpec):
         **serve,
     )
     prefetchers = [spec.prefetcher.build(dataset, index) for _ in clients]
-    return index, clients, prefetchers, _sim_config(spec.sim, spec.faults)
+    return index, clients, prefetchers, _sim_config(spec.sim, spec.faults, spec.storage)
 
 
 def run_serving_cell(

@@ -142,6 +142,11 @@ class ServingSimulator:
             raise ValueError("share_plans is unavailable under a fault plan")
         if faulty:
             share_plans = False
+        # A storage tier never perturbs the pure observe/plan work (tier
+        # state only decides which backing reads are charged), so plan
+        # sharing stays available; the report just flags the tier so the
+        # additive counters persist (DESIGN.md §9).
+        tiered = self.config.storage is not None and self.config.storage.tiering_active
         cache = make_cache(cache_backend, self.config.cache_capacity_for(self.index))
         disk = self.config.build_disk()
         sessions = [
@@ -175,6 +180,10 @@ class ServingSimulator:
                     failed_reads=session.failed_reads,
                     degraded_ticks=session.degraded_ticks,
                     breaker_opens=session.breaker_opens,
+                    tier_hits=session.tier_hits,
+                    miss_path_hits=session.miss_path_hits,
+                    tier_fills=session.tier_fills,
+                    tier_stall_seconds=session.tier_stall_seconds,
                 )
                 for client, session in zip(clients, sessions)
             ],
@@ -185,6 +194,7 @@ class ServingSimulator:
             cache_insertions=cache.insertions,
             n_ticks=n_ticks,
             faults_active=faulty,
+            tiers_active=tiered,
         )
 
     # -- schedulers -----------------------------------------------------------

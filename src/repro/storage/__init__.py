@@ -12,16 +12,34 @@ from repro.storage.page import PageTable
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.storage.cache import PrefetchCache
 from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
+from repro.storage.pagefile import PageFile, PageFileError, TornPageError
 from repro.storage.stats import IOStats
+from repro.storage.tiered import (
+    MISS_PATHS,
+    STORAGE_BACKENDS,
+    StorageSpec,
+    TieredStore,
+    TierStats,
+    make_storage,
+)
 
 __all__ = [
+    "MISS_PATHS",
+    "STORAGE_BACKENDS",
     "CircuitBreaker",
     "DiskModel",
     "DiskParameters",
     "FaultPlan",
     "FaultyDiskModel",
     "IOStats",
+    "PageFile",
+    "PageFileError",
     "PageTable",
     "PrefetchCache",
     "ReadFailure",
+    "StorageSpec",
+    "TierStats",
+    "TieredStore",
+    "TornPageError",
+    "make_storage",
 ]

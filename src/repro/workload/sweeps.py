@@ -54,6 +54,8 @@ __all__ = [
     "SERVE_CLIENTS",
     "SERVE_CLIENTS_LARGE",
     "SERVE_PREFETCHERS",
+    "TIER_MISS_PATHS",
+    "TIER_SIZES",
     "SweepDefaults",
     "chaos_breaker_of",
     "chaos_matrix",
@@ -72,6 +74,9 @@ __all__ = [
     "scale_factor",
     "serve_cache_label",
     "serve_clients_of",
+    "tiers_matrix",
+    "tiers_path_of",
+    "tiers_size_of",
 ]
 
 
@@ -709,6 +714,116 @@ def chaos_rate_of(spec: Mapping[str, Any]) -> float:
 def chaos_breaker_of(spec: Mapping[str, Any]) -> bool:
     """Whether a chaos cell-spec dict runs with the circuit breaker on."""
     return bool(spec["faults"].get("breaker", True))
+
+
+# -- the tiered-storage serving grid ------------------------------------------------
+
+#: Miss-path mechanisms of the tiers sweep's x-axis (the SimpleScalar
+#: taxonomy: victim cache, miss cache, stream buffer, all combined);
+#: ``none`` is the tier-cache-only baseline each mechanism is read
+#: against.
+TIER_MISS_PATHS: tuple[str, ...] = ("none", "victim", "miss", "stream", "combined")
+
+#: Storage-side tier-cache capacities swept, in pages.  The small tier
+#: thrashes, so the miss-path mechanisms decide what survives below it;
+#: the large tier shows how much of their win capacity alone buys.
+TIER_SIZES: tuple[int, ...] = (8, 64)
+
+
+def tiers_matrix(
+    *,
+    miss_paths: Sequence[str] = TIER_MISS_PATHS,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = SERVE_PREFETCHERS,
+    tier_sizes: Sequence[int] = TIER_SIZES,
+    backend: str = "ram",
+    n_clients: int = 4,
+    mode: str = "hotspot",
+    stagger: int = 1,
+    n_neurons: int = 40,
+    n_queries: int | None = None,
+    volume: float | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 21,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+) -> list:
+    """The tiered-storage grid: tier size x prefetcher x miss-path mechanism.
+
+    Every cell is a multi-client serving run whose shared disk is
+    wrapped in a :class:`~repro.storage.tiered.TieredStore` (DESIGN.md
+    §9): a storage-side tier cache of the swept capacity, with the
+    swept miss-path mechanism probing below it.  The grid answers the
+    comparative question of the SimpleScalar taxonomy -- which
+    mechanism absorbs the misses each prefetcher leaves behind, and at
+    what tier size does raw capacity wash the mechanisms out?  Cells
+    order tier-size-major (then prefetcher, then miss path) so each
+    tier size renders as one table.  The tier structures are
+    deterministic (LRU over the request order, no randomness), so the
+    grid keeps the ``jobs=1``/``jobs=N`` bit-identity contract.
+    """
+    from repro.sim.runner import (
+        CellSpec,
+        DatasetSpec,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+    from repro.storage.tiered import MISS_PATHS
+
+    paths = [str(p) for p in miss_paths]
+    unknown = set(paths) - set(MISS_PATHS)
+    if not paths or unknown:
+        raise ValueError(
+            f"miss_paths must be drawn from {list(MISS_PATHS)}, got {list(miss_paths)!r}"
+        )
+    sizes = [int(s) for s in tier_sizes]
+    if not sizes or any(s < 0 for s in sizes):
+        raise ValueError(f"tier_sizes must be non-negative ints, got {list(tier_sizes)!r}")
+    n_clients = int(n_clients)
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    n_queries = defaults.n_queries if n_queries is None else int(n_queries)
+    volume = defaults.volume if volume is None else float(volume)
+
+    dataset = DatasetSpec("neuron", {"n_neurons": int(n_neurons), "seed": dataset_seed})
+    index = IndexSpec("flat", {"fanout": fanout})
+    cells: list = []
+    for size in sizes:
+        for kind, params in prefetchers:
+            for path in paths:
+                cells.append(
+                    CellSpec(
+                        dataset=dataset,
+                        index=index,
+                        workload=WorkloadSpec(
+                            n_sequences=n_clients,  # one session per client
+                            n_queries=n_queries,
+                            volume=volume,
+                            gap=defaults.gap,
+                            aspect=defaults.aspect,
+                            window_ratio=defaults.window_ratio,
+                        ),
+                        prefetcher=PrefetcherSpec(kind, dict(params)),
+                        seed=workload_seed,
+                        serve={"n_clients": n_clients, "mode": mode, "stagger": int(stagger)},
+                        storage={
+                            "backend": str(backend),
+                            "miss_path": path,
+                            "tier_pages": size,
+                        },
+                    )
+                )
+    return cells
+
+
+def tiers_path_of(spec: Mapping[str, Any]) -> str:
+    """The miss-path column a tiers cell-spec dict belongs to."""
+    return str(spec["storage"]["miss_path"])
+
+
+def tiers_size_of(spec: Mapping[str, Any]) -> int:
+    """The tier-cache capacity (pages) a tiers cell-spec dict sweeps."""
+    return int(spec["storage"]["tier_pages"])
 
 
 #: Figure number -> (matrix builder, default benches) for the

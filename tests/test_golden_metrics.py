@@ -82,6 +82,23 @@ def golden_cells() -> dict[str, CellSpec]:
             sim={"cache_capacity_pages": 8},
             serve={"n_clients": 3, "mode": "hotspot", "stagger": 1, "hot_pool": 1},
         ),
+        # The clients cell again, but served through an *active*
+        # TieredStore (combined miss path over a small tier), freezing
+        # the storage-side accounting -- tier hits, miss-path hits,
+        # backing fills -- alongside the ordinary serving metric set.
+        # The disabled-store configuration needs no fixture of its own:
+        # the differential suite (test_tiered_properties.py) proves it
+        # bit-identical to the bare disk, so the other fixtures pin it.
+        "tiers": CellSpec(
+            dataset=DatasetSpec("neuron", {"n_neurons": 6, "seed": 7}),
+            index=IndexSpec("flat", {"fanout": 16}),
+            workload=WorkloadSpec(n_sequences=3, n_queries=4, volume=30_000.0),
+            prefetcher=PrefetcherSpec("ewma", {"lam": 0.3}),
+            seed=21,
+            sim={"cache_capacity_pages": 8},
+            serve={"n_clients": 3, "mode": "hotspot", "stagger": 1, "hot_pool": 1},
+            storage={"miss_path": "combined", "tier_pages": 8},
+        ),
     }
 
 
@@ -139,7 +156,7 @@ def compute_serving_metrics(spec: CellSpec) -> dict:
     pages_missed = sum(record.pages_needed - record.pages_hit for record in eligible)
     gap_io_pages = sum(record.gap_io_pages for record in records)
     metrics = report.to_aggregate()
-    return {
+    metric_set = {
         "cache_hit_rate": metrics.cache_hit_rate,
         "hit_rate_std": metrics.hit_rate_std,
         "speedup": None if math.isinf(metrics.speedup) else metrics.speedup,
@@ -154,6 +171,16 @@ def compute_serving_metrics(spec: CellSpec) -> dict:
         "cache_evictions": int(report.cache_evictions),
         "n_ticks": int(report.n_ticks),
     }
+    if report.tiers_active:
+        # Storage-side keys only when the cell configures an active
+        # tier, so the pre-existing serving fixtures stay byte-identical.
+        metric_set.update(
+            tier_hits=int(report.tier_hits),
+            miss_path_hits=int(report.miss_path_hits),
+            tier_fills=int(report.tier_fills),
+            tier_stall_seconds=float(report.tier_stall_seconds),
+        )
+    return metric_set
 
 
 @pytest.mark.parametrize("figure", sorted(golden_cells()))

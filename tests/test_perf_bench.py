@@ -180,11 +180,13 @@ class TestReportAndBudget:
             "serving_lockstep_qps",
             "fault_layer_overhead",
             "serving_daemon_qps",
+            "storage_tiers_overhead",
         }
         assert 0.0 < budget["tolerance"] < 1.0
-        overhead = budget["floors"]["fault_layer_overhead"]
-        assert 0.9 < overhead["floor"] <= 1.0
-        assert 0.0 < overhead["tolerance"] < budget["tolerance"]
+        for ratio_gate in ("fault_layer_overhead", "storage_tiers_overhead"):
+            overhead = budget["floors"][ratio_gate]
+            assert 0.9 < overhead["floor"] <= 1.0
+            assert 0.0 < overhead["tolerance"] < budget["tolerance"]
 
 
 class TestSweepProfileFlag:

@@ -30,8 +30,13 @@ _KINDS = ("ok", "failed", "corrupt", "stale")
 
 
 def _spec(i: int) -> dict:
-    """A tiny distinct-but-valid cell-spec dict (never executed)."""
-    return {
+    """A tiny distinct-but-valid cell-spec dict (never executed).
+
+    Odd ``i`` adds a tiered-storage mapping, so the compaction
+    properties also hold over stores whose cells carry the additive
+    storage keys (spec ``storage`` + tier metrics).
+    """
+    spec = {
         "dataset": {"kind": "neuron", "params": {"n_neurons": 4, "seed": i}},
         "index": {"kind": "flat", "params": {"fanout": 16}},
         "workload": {
@@ -46,9 +51,17 @@ def _spec(i: int) -> dict:
         "seed": i,
         "sim": {},
     }
+    if i % 2:
+        spec["storage"] = {"miss_path": "combined", "tier_pages": 4}
+    return spec
 
 
 def _metrics(i: int) -> AggregateMetrics:
+    tiers = (
+        dict(tier_hits=3 * i, miss_path_hits=i, tier_fills=5 + i, tier_stall_seconds=0.125 * i)
+        if i % 2
+        else {}
+    )
     return AggregateMetrics(
         n_sequences=2,
         cache_hit_rate=(i % 10) / 10.0,
@@ -59,6 +72,7 @@ def _metrics(i: int) -> AggregateMetrics:
         graph_build_seconds=0.1,
         prediction_seconds=0.2,
         per_sequence_hit_rates=[0.25, (i % 10) / 10.0],
+        **tiers,
     )
 
 
