@@ -24,8 +24,10 @@ under ``--contention hotspot``), ``--figure chaos`` for the
 fault-injection serving grid (fault rate x prefetcher x circuit
 breaker on/off over a seeded faulty disk), ``--figure tiers`` for the
 tiered-storage serving grid (prefetcher x miss-path mechanism x tier
-size over a :class:`~repro.storage.tiered.TieredStore`) -- into
-experiment cells,
+size over a :class:`~repro.storage.tiered.TieredStore`), ``--figure
+shards`` for the sharded-cache serving grid (clients x shard count x
+partition scheme x prefetcher over a
+:class:`~repro.storage.sharded.ShardedCache`) -- into experiment cells,
 fans them out over ``--jobs`` worker processes,
 persists every finished cell to a JSON-lines store keyed by the cell
 spec's content hash, and renders figure tables from the stored results.
@@ -71,6 +73,7 @@ import sys
 
 from repro.quickstart import quick_experiment
 from repro.sim.serve import LOCKSTEP_ENV
+from repro.storage.sharded import PARTITIONS
 from repro.storage.tiered import MISS_PATHS, STORAGE_BACKENDS
 from repro.workload import MICROBENCHMARKS
 
@@ -141,13 +144,13 @@ def _parse_shard(value: str) -> tuple[int, int]:
 
 def _parse_figure(value: str):
     """``--figure`` value: a figure number, or a named grid."""
-    if value in ("clients", "chaos", "tiers"):
+    if value in ("clients", "chaos", "tiers", "shards"):
         return value
     try:
         return int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"figure must be 10|11|12|13|17|clients|chaos|tiers, got {value!r}"
+            f"figure must be 10|11|12|13|17|clients|chaos|tiers|shards, got {value!r}"
         ) from None
 
 
@@ -161,7 +164,7 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--figure",
         type=_parse_figure,
-        choices=[10, 11, 12, 13, 17, "clients", "chaos", "tiers"],
+        choices=[10, 11, 12, 13, 17, "clients", "chaos", "tiers", "shards"],
         default=13,
         help="which evaluation grid to sweep: the Fig-10 microbenchmark "
         "registry, the Fig-11 no-gap or Fig-12 with-gap comparison grids, "
@@ -169,9 +172,11 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "cross-domain applicability grid (lung/arterial/roads), the "
         "'clients' grid (N concurrent sessions over one shared cache), "
         "the 'chaos' grid (serving under an injected-fault disk: "
-        "fault rate x prefetcher x circuit breaker on/off), or the "
+        "fault rate x prefetcher x circuit breaker on/off), the "
         "'tiers' grid (serving over a tiered store: prefetcher x "
-        "miss-path mechanism x tier size)",
+        "miss-path mechanism x tier size), or the 'shards' grid "
+        "(serving over a partitioned cache: clients x shard count x "
+        "partition scheme x prefetcher)",
     )
     parser.add_argument(
         "--panels",
@@ -566,6 +571,67 @@ def _render_tiers_tables(grids, results) -> None:
         print(absorbed.render())
 
 
+def _shards_grids(args, parser) -> list[tuple[str, list]] | None:
+    from repro.workload.sweeps import SHARD_PARTITIONS, shards_matrix
+
+    kwargs = {}
+    if args.neurons is not None:
+        kwargs["n_neurons"] = args.neurons
+    # One grid group per partition scheme, so each renders as one table.
+    return [
+        (
+            f"partition {partition}",
+            shards_matrix(
+                partitions=(partition,),
+                workload_seed=21 if args.seed is None else args.seed,
+                **kwargs,
+            ),
+        )
+        for partition in SHARD_PARTITIONS
+    ]
+
+
+def _render_shards_tables(grids, results) -> None:
+    from repro.analysis import sweep_table
+    from repro.workload.sweeps import serve_clients_of, shards_k_of
+
+    def _row(result) -> str:
+        return f"{_prefetcher_label(result)} x{serve_clients_of(result.spec)}"
+
+    def _imbalance(result) -> float:
+        # max/mean per-shard request load: 1.0 is perfectly even, K is
+        # "one shard absorbs everything".  K=1 cells report 1.0.
+        requests = result.metrics.shard_requests
+        if not requests or sum(requests) == 0:
+            return 1.0
+        return max(requests) / (sum(requests) / len(requests))
+
+    offset = 0
+    for label, cells in grids:
+        panel_results = [r for r in results[offset : offset + len(cells)] if r.ok]
+        offset += len(cells)
+        hit = sweep_table(
+            f"Shards sweep -- {label} -- aggregate hit rate [%]",
+            panel_results,
+            column_of=lambda r: shards_k_of(r.spec),
+            row_of=_row,
+            value_of=lambda r: 100.0 * r.metrics.cache_hit_rate,
+            figure_id="shards",
+        )
+        imbalance = sweep_table(
+            f"Shards sweep -- {label} -- request imbalance (max/mean shard load)",
+            panel_results,
+            column_of=lambda r: shards_k_of(r.spec),
+            row_of=_row,
+            value_of=_imbalance,
+            precision=2,
+        )
+        print()
+        print(hit.render())
+        print()
+        print(imbalance.render())
+
+
 def _microbenchmark_grids(args) -> list[tuple[str, list]] | None:
     from repro.workload.sweeps import FIGURE_MATRICES
 
@@ -675,7 +741,7 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error(f"--timeout must be positive, got {args.timeout}")
     # Refuse mixed-figure flags loudly: running the wrong (possibly
     # much larger) grid is worse than an argparse error.
-    if args.figure in (13, 17, "clients", "chaos", "tiers") and args.benches is not None:
+    if args.figure in (13, 17, "clients", "chaos", "tiers", "shards") and args.benches is not None:
         parser.error("--benches applies to --figure 10|11|12; use --panels for Figs 13/17")
     if args.figure not in (13, 17) and args.panels is not None:
         parser.error(f"--panels applies to --figure 13|17, not --figure {args.figure}")
@@ -686,7 +752,7 @@ def _sweep_command(argv: list[str]) -> int:
     if args.figure == 17 and args.neurons is not None:
         parser.error(
             "--neurons applies to the neuron-tissue grids "
-            "(figures 10-13, clients, chaos, tiers)"
+            "(figures 10-13, clients, chaos, tiers, shards)"
         )
     if args.figure != "clients":
         if args.clients is not None:
@@ -699,12 +765,12 @@ def _sweep_command(argv: list[str]) -> int:
             parser.error(
                 f"--contention applies to --figure clients, not --figure {args.figure}"
             )
-        if args.lockstep and args.figure not in ("chaos", "tiers"):
+        if args.lockstep and args.figure not in ("chaos", "tiers", "shards"):
             parser.error(
-                f"--lockstep applies to the serving grids (clients, chaos, tiers), "
-                f"not --figure {args.figure}"
+                f"--lockstep applies to the serving grids (clients, chaos, tiers, "
+                f"shards), not --figure {args.figure}"
             )
-    if args.figure in ("clients", "chaos", "tiers") and args.sequences is not None:
+    if args.figure in ("clients", "chaos", "tiers", "shards") and args.sequences is not None:
         parser.error(f"--sequences does not apply to --figure {args.figure} "
                      "(each client runs one session)")
     if args.lockstep:
@@ -726,6 +792,8 @@ def _sweep_command(argv: list[str]) -> int:
         grids = _chaos_grids(args, parser)
     elif args.figure == "tiers":
         grids = _tiers_grids(args, parser)
+    elif args.figure == "shards":
+        grids = _shards_grids(args, parser)
     else:
         grids = _microbenchmark_grids(args)
     if grids is None:
@@ -746,6 +814,8 @@ def _sweep_command(argv: list[str]) -> int:
             fig17_dataset_of,
             microbenchmark_of,
             serve_clients_of,
+            shards_k_of,
+            shards_partition_of,
             tiers_path_of,
         )
 
@@ -761,6 +831,9 @@ def _sweep_command(argv: list[str]) -> int:
                     axis = f"rate={chaos_rate_of(cell.to_dict()):g}"
                 elif args.figure == "tiers":
                     axis = f"miss-path={tiers_path_of(cell.to_dict())}"
+                elif args.figure == "shards":
+                    spec = cell.to_dict()
+                    axis = f"K={shards_k_of(spec)} {shards_partition_of(spec)}"
                 else:
                     axis = f"bench={microbenchmark_of(cell.to_dict()) or '?'}"
                 print(f"{label}  {cell.key()[:12]}  {cell.prefetcher.kind:10s} {axis}")
@@ -797,6 +870,8 @@ def _sweep_command(argv: list[str]) -> int:
         _render_chaos_tables(grids, report.results)
     elif args.figure == "tiers":
         _render_tiers_tables(grids, report.results)
+    elif args.figure == "shards":
+        _render_shards_tables(grids, report.results)
     else:
         _render_microbenchmark_tables(args.figure, report.results)
 
@@ -1032,6 +1107,22 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="page-file path for --storage mmap (reused if it exists; "
         "default: a fresh temp file, removed at shutdown)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="cache shard count: 0 keeps the single unsharded cache, "
+        "K >= 1 routes every touch through a partitioned cache of K "
+        "shards (DESIGN.md §10)",
+    )
+    parser.add_argument(
+        "--partition",
+        choices=list(PARTITIONS),
+        default="hilbert",
+        help="shard partition scheme: 'hilbert' range-partitions page "
+        "Hilbert keys, 'hash' spreads pages round-robin (--shards >= 2 "
+        "only)",
+    )
     return parser
 
 
@@ -1052,6 +1143,8 @@ def _serve_command(argv: list[str]) -> int:
         parser.error(f"--tier-pages must be >= 0, got {args.tier_pages}")
     if args.pagefile is not None and args.storage != "mmap":
         parser.error("--pagefile applies to --storage mmap only")
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
     config = DaemonConfig(
         host=args.host,
         port=args.port,
@@ -1070,6 +1163,8 @@ def _serve_command(argv: list[str]) -> int:
         miss_path=args.miss_path,
         tier_pages=args.tier_pages,
         pagefile=args.pagefile,
+        shards=args.shards,
+        partition=args.partition,
     )
     daemon = ServeDaemon(config)
     try:

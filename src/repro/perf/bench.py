@@ -2,7 +2,7 @@
 
 Times the system's hot paths and writes one ``BENCH_<rev>.json`` per
 git revision, so the repository accumulates a measured performance
-trajectory alongside its correctness tests.  Eight suites:
+trajectory alongside its correctness tests.  Nine suites:
 
 * **index_build** -- bulk-load time of the three index types, plus the
   scalar-path FLAT build (whose adjacency preprocessing runs the
@@ -32,6 +32,15 @@ trajectory alongside its correctness tests.  Eight suites:
   identical, throughput ratio gated by the ``storage_tiers_overhead``
   budget floor (an active combined-miss-path tier is timed for the
   record);
+* **sharded_serving** -- the sharded cache's pass-through cost (a
+  one-shard :class:`~repro.storage.sharded.ShardSpec` vs the bare
+  shared cache, reports required *fully* bit-identical, throughput
+  ratio gated by the ``sharded_routing_overhead`` budget floor) and
+  the hot-shard scale-out gain (a thrashing Zipf fleet resharded to
+  K = 8 with rebalancing must beat the single cache on simulated
+  throughput, gated by the ``sharded_hot_qps`` budget floor); the
+  suite pins its own workload size so both gates hold at every bench
+  scale;
 * **serving_daemon** -- end-to-end throughput of the real asyncio
   serving surface (:mod:`repro.serve`): an in-process daemon on an
   ephemeral port driven by the seeded open-loop load generator at a
@@ -473,6 +482,138 @@ def bench_storage_tiers(
     }
 
 
+def bench_sharded_serving(repeats: int) -> dict[str, Any]:
+    """Pass-through routing overhead and the hot-shard scale-out gain.
+
+    Unlike the other serving suites this one builds its own fixed
+    workload (16 neurons, 64 clients, 8 queries) in both quick and full
+    modes: both gated quantities -- the pass-through ratio and the hot
+    fleet's simulated q/s -- are meant to be invariants of the
+    *mechanism*, and pinning the workload keeps their budget floors
+    valid at every bench scale.
+
+    Two measurements over the lockstep scheduler.  **Pass-through**
+    (gated by the ``sharded_routing_overhead`` budget floor): the
+    hotspot fleet runs on the bare shared cache and behind
+    ``ShardSpec(n_shards=1)``.  A one-shard spec delegates every
+    operation and leaves ``shards_active`` off, so the two serve
+    reports must be *fully* bit-identical -- no flag popping -- before
+    any timing counts; ``overhead_ratio`` is the sharded side's
+    throughput as a fraction of the plain side's (1.0 = free).
+
+    **Hot scale-out** (gated by the ``sharded_hot_qps`` budget floor): a
+    Zipf-hot fleet over a deliberately tiny single cache thrashes --
+    most touches miss and pay demand reads -- then re-runs over K = 8
+    Hilbert shards with the same capacity *per shard* and rebalancing
+    on: the scale-out story, where each shard is a node bringing its own
+    memory arm.  The gain is measured where the simulation accounts
+    I/O: queries per *simulated* response second, a deterministic
+    quantity for a fixed workload, so the sharded fleet beating the
+    single cache is asserted outright before the numbers count.
+    Wall-clock seconds for both hot runs are recorded for the record
+    but not gated -- python-level routing overhead against simulated
+    I/O saved is not a machine-invariant ratio.
+    """
+    from repro.storage.sharded import ShardSpec
+
+    n_clients, n_queries = 64, 8
+    dataset = make_neuron_tissue(n_neurons=16, seed=7)
+    index = FlatIndex(dataset, fanout=16)
+    clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=21,
+        n_queries=n_queries,
+        volume=30_000.0,
+        mode="hotspot",
+        stagger=0,
+        hot_pool=8,
+    )
+    plain_sim = ServingSimulator(index)
+    one_sim = ServingSimulator(index, SimulationConfig(shards=ShardSpec(n_shards=1)))
+
+    def fleet(workload):
+        return [EWMAPrefetcher(lam=0.3) for _ in workload]
+
+    def run_plain():
+        return plain_sim.run(clients, fleet(clients), lockstep=True)
+
+    def run_one():
+        return one_sim.run(clients, fleet(clients), lockstep=True)
+
+    if asdict(run_plain()) != asdict(run_one()):
+        raise AssertionError("one-shard spec changed the serve report")
+
+    plain_s = _best_of(run_plain, repeats)
+    one_s = _best_of(run_one, repeats)
+
+    hot_capacity = 64
+    hot_clients = multiclient_sessions(
+        dataset,
+        n_clients=n_clients,
+        seed=21,
+        n_queries=n_queries,
+        volume=240_000.0,
+        mode="hotspot",
+        stagger=0,
+        hot_pool=8,
+    )
+    single_sim = ServingSimulator(
+        index, SimulationConfig(cache_capacity_pages=hot_capacity)
+    )
+    sharded_sim = ServingSimulator(
+        index,
+        SimulationConfig(
+            cache_capacity_pages=hot_capacity,
+            shards=ShardSpec(
+                n_shards=8, shard_cache_pages=hot_capacity, rebalance=True
+            ),
+        ),
+    )
+
+    def run_single():
+        return single_sim.run(hot_clients, fleet(hot_clients), lockstep=True)
+
+    def run_sharded():
+        return sharded_sim.run(hot_clients, fleet(hot_clients), lockstep=True)
+
+    single_report = run_single()
+    sharded_report = run_sharded()
+    if not (sharded_report.shard_rebalances or 0) > 0:
+        raise AssertionError("hot fleet did not trigger a single rebalance")
+    n_total = n_clients * n_queries
+    single_sim_qps = n_total / single_report.to_aggregate().response_seconds
+    sharded_sim_qps = n_total / sharded_report.to_aggregate().response_seconds
+    if sharded_sim_qps <= single_sim_qps:
+        raise AssertionError(
+            f"sharded hot fleet must beat the single cache on simulated "
+            f"throughput: {sharded_sim_qps:,.0f} <= {single_sim_qps:,.0f} q/s"
+        )
+    single_s = _best_of(run_single, repeats)
+    sharded_s = _best_of(run_sharded, repeats)
+    return {
+        "n_clients": n_clients,
+        "n_queries_per_client": n_queries,
+        "plain_seconds": plain_s,
+        "one_shard_seconds": one_s,
+        "plain_qps": n_total / plain_s,
+        "one_shard_qps": n_total / one_s,
+        "overhead_ratio": plain_s / one_s,
+        "reports_bit_identical": True,
+        "hot_capacity_pages": hot_capacity,
+        "hot_n_shards": 8,
+        "hot_rebalances": sharded_report.shard_rebalances,
+        "hot_pages_moved": sharded_report.shard_pages_moved,
+        "hot_single_hit_rate": single_report.to_aggregate().cache_hit_rate,
+        "hot_sharded_hit_rate": sharded_report.to_aggregate().cache_hit_rate,
+        "hot_single_sim_qps": single_sim_qps,
+        "hot_sharded_sim_qps": sharded_sim_qps,
+        "hot_sim_speedup": sharded_sim_qps / single_sim_qps,
+        "hot_single_seconds": single_s,
+        "hot_sharded_seconds": sharded_s,
+    }
+
+
 def bench_serving_daemon(n_requests: int, n_neurons: int) -> dict[str, Any]:
     """End-to-end throughput of the asyncio serving daemon.
 
@@ -566,6 +707,7 @@ def run_bench(quick: bool = False, rev: str | None = None) -> BenchReport:
     report.results["storage_tiers"] = bench_storage_tiers(
         dataset, index, n_serve_clients, n_queries=8, repeats=repeats
     )
+    report.results["sharded_serving"] = bench_sharded_serving(repeats=repeats)
     report.results["serving_daemon"] = bench_serving_daemon(
         n_requests=400 if quick else 1500, n_neurons=8 if quick else 16
     )
@@ -586,6 +728,7 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
     serving = report.results.get("serving", {})
     fault_layer = report.results.get("fault_layer", {})
     storage_tiers = report.results.get("storage_tiers", {})
+    sharded = report.results.get("sharded_serving", {})
     daemon = report.results.get("serving_daemon", {})
     measured = {
         # Speedup ratios are the primary gates: scalar baseline and
@@ -600,6 +743,8 @@ def check_budget(report: BenchReport, budget_path: str | Path) -> list[str]:
         "serving_lockstep_qps": serving.get("lockstep_qps", 0.0),
         "fault_layer_overhead": fault_layer.get("overhead_ratio", 0.0),
         "storage_tiers_overhead": storage_tiers.get("overhead_ratio", 0.0),
+        "sharded_routing_overhead": sharded.get("overhead_ratio", 0.0),
+        "sharded_hot_qps": sharded.get("hot_sharded_sim_qps", 0.0),
         "serving_daemon_qps": daemon.get("achieved_qps", 0.0),
     }
     failures = []
@@ -686,6 +831,16 @@ def render_report(report: BenchReport) -> str:
             f"bare disk {st['plain_qps']:,.0f} q/s  "
             f"active {st['active_qps']:,.0f} q/s  "
             f"(overhead ratio {st['overhead_ratio']:.3f}, reports bit-identical)"
+        )
+    if "sharded_serving" in r:
+        sh = r["sharded_serving"]
+        lines.append(
+            f"sharded cache  : one-shard {sh['one_shard_qps']:,.0f} q/s  "
+            f"bare cache {sh['plain_qps']:,.0f} q/s  "
+            f"(overhead ratio {sh['overhead_ratio']:.3f}, reports bit-identical)  "
+            f"hot K=8 {sh['hot_sharded_sim_qps']:,.0f} sim-q/s vs "
+            f"K=1 {sh['hot_single_sim_qps']:,.0f} "
+            f"({sh['hot_sim_speedup']:.1f}x, {sh['hot_rebalances']} rebalances)"
         )
     if "serving_daemon" in r:
         d = r["serving_daemon"]

@@ -36,8 +36,8 @@ from repro.serve.latency import LatencyRecorder
 from repro.serve.protocol import ProtocolError, read_frame, write_frame
 from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
 from repro.sim.metrics import LatencyReport
-from repro.storage.cache import PrefetchCache
 from repro.storage.faults import FaultPlan
+from repro.storage.sharded import ShardedCache, ShardSpec
 from repro.storage.tiered import StorageSpec, TieredStore
 from repro.workload.multiclient import multiclient_sessions
 
@@ -86,6 +86,12 @@ class DaemonConfig:
     #: Page-file path for the ``mmap`` backend (``None``: a private temp
     #: file, removed at shutdown).
     pagefile: str | None = None
+    #: Cache shard count; 0 keeps the single unsharded cache, K >= 1
+    #: routes every touch through a :class:`~repro.storage.sharded.
+    #: ShardedCache` over K shards (DESIGN.md §10).
+    shards: int = 0
+    #: Partition scheme for the sharded cache (``hilbert`` or ``hash``).
+    partition: str = "hilbert"
 
 
 def _prefetcher_factory(name: str, dataset, index):
@@ -166,11 +172,17 @@ class ServeDaemon:
                 tier_pages=config.tier_pages,
                 path=config.pagefile,
             )
+        shards = None
+        if config.shards > 0:
+            shards = ShardSpec(n_shards=config.shards, partition=config.partition)
         self.sim_config = SimulationConfig(
-            cache_capacity_pages=config.cache_pages, faults=faults, storage=storage
+            cache_capacity_pages=config.cache_pages,
+            faults=faults,
+            storage=storage,
+            shards=shards,
         )
         self.engine = SimulationEngine(self.index, self.sim_config)
-        self.cache = PrefetchCache(self.sim_config.cache_capacity_for(self.index))
+        self.cache = self.sim_config.build_cache(self.index)
         self.disk = self.sim_config.build_disk()
         if isinstance(self.disk, TieredStore):
             # Sessions would bind lazily, but the daemon serves pages from
@@ -316,6 +328,7 @@ class ServeDaemon:
             },
             "faults_active": self.sim_config.faults is not None,
             "storage": self._storage_report(),
+            "shards": self._shards_report(),
         }
 
     def _storage_report(self) -> dict:
@@ -335,6 +348,22 @@ class ServeDaemon:
                 stall_seconds=ts.stall_seconds,
                 torn_detected=ts.torn_detected,
                 torn_repaired=ts.torn_repaired,
+            )
+        return report
+
+    def _shards_report(self) -> dict:
+        """The sharded-cache slice of the final report (``n_shards`` 0 = off)."""
+        report: dict = {
+            "n_shards": self.config.shards,
+            "partition": self.config.partition,
+        }
+        if isinstance(self.cache, ShardedCache):
+            report.update(
+                per_shard=self.cache.per_shard_stats(),
+                rebalance_events=self.cache.rebalance_events,
+                pages_moved=self.cache.pages_moved,
+                hops=self.cache.hops,
+                hop_seconds=self.cache.hop_seconds,
             )
         return report
 

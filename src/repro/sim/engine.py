@@ -37,9 +37,10 @@ from repro.baselines.base import ObservedQuery, Prefetcher, PrefetchTarget
 from repro.geometry.aabb import AABB
 from repro.index.base import SpatialIndex
 from repro.sim.metrics import QueryRecord, SequenceMetrics
-from repro.storage.cache import ArrayCache, PrefetchCache
+from repro.storage.cache import ArrayCache, PrefetchCache, make_cache
 from repro.storage.disk import DiskModel, DiskParameters
 from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
+from repro.storage.sharded import ShardedCache, ShardSpec, make_sharded_cache
 from repro.storage.tiered import StorageSpec, TieredStore, make_storage
 from repro.workload.sequence import QuerySequence
 
@@ -181,6 +182,12 @@ class SimulationConfig:
     #: plan (DESIGN.md §9).
     storage: StorageSpec | None = None
 
+    #: Sharded-cache spec (``None`` keeps the single shared cache).  A
+    #: present spec with one shard compiles to a pass-through wrapper
+    #: that delegates op-by-op to the unsharded backend -- bit-identical
+    #: metrics, measurable routing overhead (DESIGN.md §10).
+    shards: ShardSpec | None = None
+
     def cache_capacity_for(self, index: SpatialIndex) -> int:
         if self.cache_capacity_pages is not None:
             return self.cache_capacity_pages
@@ -195,6 +202,13 @@ class SimulationConfig:
         if self.storage is None:
             return disk
         return make_storage(disk, self.storage)
+
+    def build_cache(self, index: SpatialIndex, backend: str = "dict"):
+        """The prefetch cache this config prescribes: plain or sharded."""
+        capacity = self.cache_capacity_for(index)
+        if self.shards is None:
+            return make_cache(backend, capacity)
+        return make_sharded_cache(self.shards, backend, capacity, index=index)
 
 
 class _BatchedProbes:
@@ -419,9 +433,7 @@ class QuerySession:
         self.sequence = sequence
         self.prefetcher = prefetcher
         config = engine.config
-        self.cache = (
-            PrefetchCache(config.cache_capacity_for(engine.index)) if cache is None else cache
-        )
+        self.cache = config.build_cache(engine.index) if cache is None else cache
         self.disk = config.build_disk() if disk is None else disk
         self.client_id = client_id
         self.metrics = SequenceMetrics()
@@ -454,6 +466,11 @@ class QuerySession:
         self.miss_path_hits = 0
         self.tier_fills = 0
         self.tier_stall_seconds = 0.0
+        # Sharded-cache accounting (DESIGN.md §10): this session's share
+        # of cross-shard hop time, attributed by snapshotting the shared
+        # cache's hop clock around the session's own demand touches.
+        self.shard_hop_seconds = 0.0
+        self._shard_cache = self.cache if isinstance(self.cache, ShardedCache) else None
         self._fault_disk = fault_surface(self.disk)
         self._tier_store: TieredStore | None = None
         if isinstance(self.disk, TieredStore):
@@ -492,6 +509,22 @@ class QuerySession:
         self.miss_path_hits += now.mechanism_hits - mark.mechanism_hits
         self.tier_fills += now.backing_pages - mark.backing_pages
         self.tier_stall_seconds += now.stall_seconds - mark.stall_seconds
+
+    # -- sharded-cache attribution ----------------------------------------------------
+
+    def _shard_mark(self) -> float:
+        """Snapshot the sharded cache's hop clock before a demand touch."""
+        cache = self._shard_cache
+        return 0.0 if cache is None else cache.hop_seconds
+
+    def _shard_collect(self, mark: float) -> float:
+        """This session's hop-seconds delta since ``mark`` (also accrued)."""
+        cache = self._shard_cache
+        if cache is None:
+            return 0.0
+        delta = cache.hop_seconds - mark
+        self.shard_hop_seconds += delta
+        return delta
 
     # -- state ----------------------------------------------------------------------
 
@@ -645,7 +678,9 @@ class QuerySession:
         # touch never inserts, so membership is invariant across the
         # batch and the hit mask's complement is exactly the miss set.
         cache = self.cache
+        shard_mark = self._shard_mark()
         hit_mask = cache.touch_many(pages)
+        hop_seconds = self._shard_collect(shard_mark)
         hit_pages = pages[hit_mask]
         miss_pages = pages[~hit_mask]
         fault_disk = self._fault_disk
@@ -663,6 +698,10 @@ class QuerySession:
                 residual = failure.seconds + fault_disk.recover_read(miss_pages)
                 miss_failed = True
         self._tier_collect(tier_mark)
+        if hop_seconds:
+            # Cross-shard fan-out on the demand path is user-visible
+            # latency: charge it to residual time like a tier stall.
+            residual += hop_seconds
 
         n_hits = int(hit_pages.size)
         self.shared_hits += n_hits

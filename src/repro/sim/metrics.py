@@ -177,6 +177,17 @@ class AggregateMetrics:
     miss_path_hits: int | None = None
     tier_fills: int | None = None
     tier_stall_seconds: float | None = None
+    #: Sharded-cache counters (DESIGN.md §10): populated only by cells
+    #: run with an active shard layout (``K > 1``); ``None`` (and
+    #: omitted from persisted records) everywhere else, so unsharded
+    #: stores stay byte-identical.  ``shard_requests``/``shard_hits``
+    #: are per-shard, in shard order, and exactly partition the shared
+    #: cache's touch totals.
+    shard_requests: list[int] | None = None
+    shard_hits: list[int] | None = None
+    shard_rebalances: int | None = None
+    shard_pages_moved: int | None = None
+    shard_hop_seconds: float | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -222,6 +233,10 @@ class ClientMetrics:
     miss_path_hits: int = 0
     tier_fills: int = 0
     tier_stall_seconds: float = 0.0
+    #: Sharded-cache accounting (zero without an active shard layout):
+    #: this client's share of cross-shard hop time on the demand path
+    #: (DESIGN.md §10).
+    shard_hop_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -255,6 +270,17 @@ class ServeReport:
     #: Whether the run's disk carried an active storage tier; gates the
     #: tier counters' persistence the same way (DESIGN.md §9).
     tiers_active: bool = False
+    #: Whether the run's cache was sharded (``K > 1``); gates the shard
+    #: counters' persistence the same way (DESIGN.md §10).
+    shards_active: bool = False
+    #: Per-shard demand touches and hits, in shard order (``None`` when
+    #: unsharded).  Sums equal ``cache_hits + cache_misses`` and
+    #: ``cache_hits``: the shards exactly partition the request stream.
+    shard_requests: list[int] | None = None
+    shard_hits: list[int] | None = None
+    #: Rebalancer activity over the run (``None`` when unsharded).
+    shard_rebalances: int | None = None
+    shard_pages_moved: int | None = None
 
     @property
     def n_clients(self) -> int:
@@ -323,6 +349,11 @@ class ServeReport:
         """Simulated fill-stall seconds charged, fleet-wide."""
         return sum(client.tier_stall_seconds for client in self.clients)
 
+    @property
+    def shard_hop_seconds(self) -> float:
+        """Simulated cross-shard hop seconds charged, fleet-wide."""
+        return sum(client.shard_hop_seconds for client in self.clients)
+
     def to_aggregate(self) -> AggregateMetrics:
         """Pool the clients exactly like sequences of one experiment cell.
 
@@ -354,6 +385,15 @@ class ServeReport:
                 miss_path_hits=self.miss_path_hits,
                 tier_fills=self.tier_fills,
                 tier_stall_seconds=self.tier_stall_seconds,
+            )
+        if self.shards_active:
+            pooled = replace(
+                pooled,
+                shard_requests=self.shard_requests,
+                shard_hits=self.shard_hits,
+                shard_rebalances=self.shard_rebalances,
+                shard_pages_moved=self.shard_pages_moved,
+                shard_hop_seconds=self.shard_hop_seconds,
             )
         return pooled
 

@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.sim.metrics import AggregateMetrics
+from repro.util import slice_of
 
 __all__ = [
     "CellResult",
@@ -152,6 +153,16 @@ def metrics_to_dict(metrics: AggregateMetrics) -> dict[str, Any]:
         data["tier_fills"] = int(metrics.tier_fills)
     if metrics.tier_stall_seconds is not None:
         data["tier_stall_seconds"] = float(metrics.tier_stall_seconds)
+    if metrics.shard_requests is not None:
+        data["shard_requests"] = [int(v) for v in metrics.shard_requests]
+    if metrics.shard_hits is not None:
+        data["shard_hits"] = [int(v) for v in metrics.shard_hits]
+    if metrics.shard_rebalances is not None:
+        data["shard_rebalances"] = int(metrics.shard_rebalances)
+    if metrics.shard_pages_moved is not None:
+        data["shard_pages_moved"] = int(metrics.shard_pages_moved)
+    if metrics.shard_hop_seconds is not None:
+        data["shard_hop_seconds"] = float(metrics.shard_hop_seconds)
     return data
 
 
@@ -192,6 +203,27 @@ def metrics_from_dict(data: Mapping[str, Any]) -> AggregateMetrics:
             None
             if data.get("tier_stall_seconds") is None
             else float(data["tier_stall_seconds"])
+        ),
+        shard_requests=(
+            None
+            if data.get("shard_requests") is None
+            else [int(v) for v in data["shard_requests"]]
+        ),
+        shard_hits=(
+            None if data.get("shard_hits") is None else [int(v) for v in data["shard_hits"]]
+        ),
+        shard_rebalances=(
+            None if data.get("shard_rebalances") is None else int(data["shard_rebalances"])
+        ),
+        shard_pages_moved=(
+            None
+            if data.get("shard_pages_moved") is None
+            else int(data["shard_pages_moved"])
+        ),
+        shard_hop_seconds=(
+            None
+            if data.get("shard_hop_seconds") is None
+            else float(data["shard_hop_seconds"])
         ),
     )
 
@@ -608,11 +640,13 @@ def shard_of(key: str, n_shards: int) -> int:
     Uses the key's leading 64 bits so any process, on any host, at any
     time assigns a cell to the same slice -- the property that lets
     independent CI jobs sweep ``--shard 0/2`` and ``--shard 1/2``
-    without coordination and still partition the grid exactly.
+    without coordination and still partition the grid exactly.  The
+    assignment rule itself is :func:`repro.util.slice_of`, shared with
+    the sharded cache's hash partitioner so both stay pinned together.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-    return int(key[:16], 16) % n_shards
+    return int(slice_of(int(key[:16], 16), n_shards))
 
 
 def shard_store_path(path: str | Path, shard_index: int, n_shards: int) -> Path:

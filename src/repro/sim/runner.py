@@ -84,6 +84,7 @@ from repro.sim.results import (
 )
 from repro.storage.disk import DiskParameters
 from repro.storage.faults import FAULT_PREFETCHER_BUILDERS, FaultPlan
+from repro.storage.sharded import ShardSpec
 from repro.storage.tiered import StorageSpec
 from repro.workload.multiclient import multiclient_sessions
 from repro.workload.sequence import generate_sequences
@@ -258,6 +259,12 @@ class CellSpec:
     :class:`~repro.storage.tiered.TieredStore` (DESIGN.md §9).  Like
     ``faults``, an empty ``storage`` is omitted from serialization, so
     tier-free cells keep their content hash.
+
+    ``shards`` holds :class:`~repro.storage.sharded.ShardSpec` field
+    overrides: when non-empty, the cell's prefetch cache is compiled
+    into a :class:`~repro.storage.sharded.ShardedCache` (DESIGN.md
+    §10).  Like ``storage``, an empty ``shards`` is omitted from
+    serialization, so unsharded cells keep their content hash.
     """
 
     dataset: DatasetSpec
@@ -269,6 +276,7 @@ class CellSpec:
     serve: Mapping[str, Any] = field(default_factory=dict)
     faults: Mapping[str, Any] = field(default_factory=dict)
     storage: Mapping[str, Any] = field(default_factory=dict)
+    shards: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -285,6 +293,8 @@ class CellSpec:
             data["faults"] = dict(self.faults)
         if self.storage:
             data["storage"] = dict(self.storage)
+        if self.shards:
+            data["shards"] = dict(self.shards)
         return data
 
     @classmethod
@@ -301,6 +311,7 @@ class CellSpec:
             serve=dict(data.get("serve", {})),
             faults=dict(data.get("faults", {})),
             storage=dict(data.get("storage", {})),
+            shards=dict(data.get("shards", {})),
         )
 
     def key(self) -> str:
@@ -454,8 +465,9 @@ def _sim_config(
     sim: Mapping[str, Any],
     faults: Mapping[str, Any] = (),
     storage: Mapping[str, Any] = (),
+    shards: Mapping[str, Any] = (),
 ) -> SimulationConfig | None:
-    if not sim and not faults and not storage:
+    if not sim and not faults and not storage and not shards:
         return None
     kwargs = dict(sim)
     disk = kwargs.pop("disk", None)
@@ -465,6 +477,8 @@ def _sim_config(
         kwargs["faults"] = FaultPlan.from_dict(faults)
     if storage:
         kwargs["storage"] = StorageSpec.from_dict(storage)
+    if shards:
+        kwargs["shards"] = ShardSpec.from_dict(shards)
     return SimulationConfig(**kwargs)
 
 
@@ -513,7 +527,9 @@ def prepare_cell(spec: CellSpec):
         window_ratio=w.window_ratio,
     )
     prefetcher = spec.prefetcher.build(dataset, index)
-    return index, sequences, prefetcher, _sim_config(spec.sim, spec.faults, spec.storage)
+    return index, sequences, prefetcher, _sim_config(
+        spec.sim, spec.faults, spec.storage, spec.shards
+    )
 
 
 def prepare_serving_cell(spec: CellSpec):
@@ -557,7 +573,9 @@ def prepare_serving_cell(spec: CellSpec):
         **serve,
     )
     prefetchers = [spec.prefetcher.build(dataset, index) for _ in clients]
-    return index, clients, prefetchers, _sim_config(spec.sim, spec.faults, spec.storage)
+    return index, clients, prefetchers, _sim_config(
+        spec.sim, spec.faults, spec.storage, spec.shards
+    )
 
 
 def run_serving_cell(

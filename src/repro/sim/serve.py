@@ -49,7 +49,6 @@ from repro.baselines.base import PositionOnlyPrefetcher, Prefetcher
 from repro.index.base import SpatialIndex
 from repro.sim.engine import QuerySession, SimulationConfig, SimulationEngine
 from repro.sim.metrics import ClientMetrics, ServeReport
-from repro.storage.cache import make_cache
 from repro.workload.multiclient import ClientWorkload
 
 __all__ = ["ServingSimulator", "lockstep_from_env"]
@@ -147,7 +146,12 @@ class ServingSimulator:
         # sharing stays available; the report just flags the tier so the
         # additive counters persist (DESIGN.md §9).
         tiered = self.config.storage is not None and self.config.storage.tiering_active
-        cache = make_cache(cache_backend, self.config.cache_capacity_for(self.index))
+        # A sharded cache keeps plan sharing available for the same
+        # reason: routing and rebalancing only redistribute which shard
+        # absorbs a touch, and both schedulers feed the cache identical
+        # batch sequences (DESIGN.md §10).
+        sharded = self.config.shards is not None and self.config.shards.sharding_active
+        cache = self.config.build_cache(self.index, cache_backend)
         disk = self.config.build_disk()
         sessions = [
             QuerySession(
@@ -184,6 +188,7 @@ class ServingSimulator:
                     miss_path_hits=session.miss_path_hits,
                     tier_fills=session.tier_fills,
                     tier_stall_seconds=session.tier_stall_seconds,
+                    shard_hop_seconds=session.shard_hop_seconds,
                 )
                 for client, session in zip(clients, sessions)
             ],
@@ -195,6 +200,17 @@ class ServingSimulator:
             n_ticks=n_ticks,
             faults_active=faulty,
             tiers_active=tiered,
+            shards_active=sharded,
+            shard_requests=(
+                [shard.hits + shard.misses for shard in cache.shards]
+                if sharded
+                else None
+            ),
+            shard_hits=(
+                [shard.hits for shard in cache.shards] if sharded else None
+            ),
+            shard_rebalances=cache.rebalance_events if sharded else None,
+            shard_pages_moved=cache.pages_moved if sharded else None,
         )
 
     # -- schedulers -----------------------------------------------------------

@@ -14,6 +14,12 @@ from repro.storage.cache import PrefetchCache
 from repro.storage.faults import CircuitBreaker, FaultPlan, FaultyDiskModel, ReadFailure
 from repro.storage.pagefile import PageFile, PageFileError, TornPageError
 from repro.storage.stats import IOStats
+from repro.storage.sharded import (
+    PARTITIONS,
+    ShardedCache,
+    ShardSpec,
+    make_sharded_cache,
+)
 from repro.storage.tiered import (
     MISS_PATHS,
     STORAGE_BACKENDS,
@@ -25,6 +31,7 @@ from repro.storage.tiered import (
 
 __all__ = [
     "MISS_PATHS",
+    "PARTITIONS",
     "STORAGE_BACKENDS",
     "CircuitBreaker",
     "DiskModel",
@@ -37,9 +44,12 @@ __all__ = [
     "PageTable",
     "PrefetchCache",
     "ReadFailure",
+    "ShardSpec",
+    "ShardedCache",
     "StorageSpec",
     "TierStats",
     "TieredStore",
     "TornPageError",
+    "make_sharded_cache",
     "make_storage",
 ]

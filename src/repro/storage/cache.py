@@ -45,6 +45,9 @@ __all__ = ["ArrayCache", "PrefetchCache", "make_cache"]
 #: (single-client use) report ``-1``, which never equals a client id.
 NO_OWNER = -1
 
+#: Sentinel distinguishing "absent" from a cached ``None`` owner tag.
+_MISSING = object()
+
 
 class PrefetchCache:
     """A bounded set of cached page ids with least-recently-used eviction."""
@@ -137,6 +140,16 @@ class PrefetchCache:
     def insert_many(self, page_ids: Iterable[int], owner: int | None = None) -> None:
         for page_id in page_ids:
             self.insert(page_id, owner)
+
+    def discard(self, page_id: int) -> bool:
+        """Remove a page without eviction accounting; ``True`` if removed.
+
+        Unlike an eviction this neither bumps the eviction counter nor
+        sets the eviction-memory mark: the page is leaving on purpose,
+        not under pressure.  The sharded cache's rebalancer uses this to
+        migrate pages between shards.
+        """
+        return self._pages.pop(int(page_id), _MISSING) is not _MISSING
 
     def clear(self) -> None:
         """Drop all cached pages (the paper clears caches between sequences)."""
@@ -386,6 +399,27 @@ class ArrayCache:
             self._n += new_pages.size
             self.insertions += int(new_pages.size)
         self._clock += pages.size
+
+    def discard(self, page_id: int) -> bool:
+        """Remove a page without eviction accounting; ``True`` if removed.
+
+        See :meth:`PrefetchCache.discard`: no eviction counter, no
+        eviction-memory mark.  The hole left by the removed slot is
+        filled by the last occupied slot, as on eviction.
+        """
+        page_id = int(page_id)
+        slot = self._slot_scalar(page_id)
+        if slot < 0:
+            return False
+        self._slot_of[page_id] = -1
+        last = self._n - 1
+        if slot != last:
+            self._slot_page[slot] = self._slot_page[last]
+            self._slot_owner[slot] = self._slot_owner[last]
+            self._slot_epoch[slot] = self._slot_epoch[last]
+            self._slot_of[self._slot_page[slot]] = slot
+        self._n -= 1
+        return True
 
     def clear(self) -> None:
         """Drop all cached pages (the paper clears caches between sequences)."""

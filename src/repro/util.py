@@ -11,7 +11,29 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["csr_expand", "row_norms"]
+__all__ = ["csr_expand", "row_norms", "slice_of"]
+
+
+def slice_of(key, n_slices: int):
+    """Deterministic "key -> slice ``i`` of ``n``" assignment.
+
+    The one modulo used everywhere the repo splits a keyed stream into
+    ``n`` fixed slices: the sharded result store maps a cell key's
+    leading hex digits to a store shard
+    (:func:`repro.sim.results.shard_of`), and the sharded cache's
+    ``hash`` partitioner maps page ids to cache shards
+    (:mod:`repro.storage.sharded`).  Keeping both behind this helper
+    pins them together: changing the assignment rule in one place would
+    silently orphan persisted stores or reshuffle cache partitions, so
+    the regression test (``tests/test_sharding.py``) asserts both call
+    sites agree with this function.
+
+    ``key`` may be a non-negative int or an integer ndarray (the modulo
+    broadcasts); ``n_slices`` must be a positive int.
+    """
+    if n_slices <= 0:
+        raise ValueError("n_slices must be positive")
+    return key % n_slices
 
 
 def row_norms(vectors: np.ndarray) -> np.ndarray:

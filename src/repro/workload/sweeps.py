@@ -54,6 +54,9 @@ __all__ = [
     "SERVE_CLIENTS",
     "SERVE_CLIENTS_LARGE",
     "SERVE_PREFETCHERS",
+    "SHARD_CLIENTS",
+    "SHARD_COUNTS",
+    "SHARD_PARTITIONS",
     "TIER_MISS_PATHS",
     "TIER_SIZES",
     "SweepDefaults",
@@ -74,6 +77,9 @@ __all__ = [
     "scale_factor",
     "serve_cache_label",
     "serve_clients_of",
+    "shards_k_of",
+    "shards_matrix",
+    "shards_partition_of",
     "tiers_matrix",
     "tiers_path_of",
     "tiers_size_of",
@@ -814,6 +820,120 @@ def tiers_matrix(
                     )
                 )
     return cells
+
+
+# -- the sharded-cache serving grid -------------------------------------------------
+
+#: Shard counts of the shards sweep: the unsharded baseline (a K=1
+#: pass-through wrapper, bit-identical to no sharding) against a small
+#: multi-node layout.
+SHARD_COUNTS: tuple[int, ...] = (1, 4)
+
+#: Partitioning schemes swept: Hilbert range splits (spatially
+#: clustered clients land on few shards) vs hash scatter (uniform but
+#: locality-blind, every batch fans out).
+SHARD_PARTITIONS: tuple[str, ...] = ("hilbert", "hash")
+
+#: Client counts of the shards sweep (hotspot mode, so load skews).
+SHARD_CLIENTS: tuple[int, ...] = (4, 8)
+
+
+def shards_matrix(
+    *,
+    clients: Sequence[int] = SHARD_CLIENTS,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    partitions: Sequence[str] = SHARD_PARTITIONS,
+    prefetchers: Sequence[tuple[str, Mapping[str, Any]]] = SERVE_PREFETCHERS,
+    rebalance: bool = False,
+    mode: str = "hotspot",
+    stagger: int = 1,
+    n_neurons: int = 40,
+    n_queries: int | None = None,
+    volume: float | None = None,
+    dataset_seed: int = 7,
+    workload_seed: int = 21,
+    fanout: int = 16,
+    defaults: SweepDefaults = SENSITIVITY_DEFAULTS,
+) -> list:
+    """The sharded-cache grid: clients x shard count x partition x policy.
+
+    Every cell is a multi-client serving run whose shared prefetch
+    cache is compiled into a :class:`~repro.storage.sharded.ShardedCache`
+    (DESIGN.md §10): the total capacity range-partitioned along the
+    page table's Hilbert keys or hash-scattered over page ids.  The
+    grid answers the scale-out questions -- how skewed does per-shard
+    load get under each partitioning, and what does sharding cost or
+    buy each prefetch policy as the fleet grows?  ``rebalance=True``
+    additionally arms the hot-shard rebalancer on the ``hilbert``
+    cells (it is range-partitioning-only, so hash cells never take
+    it).  Cells order partition-major (then clients, then prefetcher,
+    then shard count) so each partition renders as one table group.
+    Routing, eviction and rebalancing are deterministic, so the grid
+    keeps the ``jobs=1``/``jobs=N`` bit-identity contract.
+    """
+    from repro.sim.runner import (
+        CellSpec,
+        DatasetSpec,
+        IndexSpec,
+        PrefetcherSpec,
+        WorkloadSpec,
+    )
+    from repro.storage.sharded import PARTITIONS
+
+    parts = [str(p) for p in partitions]
+    unknown = set(parts) - set(PARTITIONS)
+    if not parts or unknown:
+        raise ValueError(
+            f"partitions must be drawn from {list(PARTITIONS)}, got {list(partitions)!r}"
+        )
+    counts = [int(k) for k in shard_counts]
+    if not counts or any(k < 1 for k in counts):
+        raise ValueError(f"shard_counts must be positive ints, got {list(shard_counts)!r}")
+    client_counts = [int(n) for n in clients]
+    if not client_counts or any(n < 1 for n in client_counts):
+        raise ValueError(f"clients must be positive ints, got {list(clients)!r}")
+    n_queries = defaults.n_queries if n_queries is None else int(n_queries)
+    volume = defaults.volume if volume is None else float(volume)
+
+    dataset = DatasetSpec("neuron", {"n_neurons": int(n_neurons), "seed": dataset_seed})
+    index = IndexSpec("flat", {"fanout": fanout})
+    cells: list = []
+    for partition in parts:
+        for n in client_counts:
+            for kind, params in prefetchers:
+                for k in counts:
+                    shards = {"n_shards": k, "partition": partition}
+                    if rebalance and partition == "hilbert":
+                        shards["rebalance"] = True
+                    cells.append(
+                        CellSpec(
+                            dataset=dataset,
+                            index=index,
+                            workload=WorkloadSpec(
+                                n_sequences=n,  # one session per client
+                                n_queries=n_queries,
+                                volume=volume,
+                                gap=defaults.gap,
+                                aspect=defaults.aspect,
+                                window_ratio=defaults.window_ratio,
+                            ),
+                            prefetcher=PrefetcherSpec(kind, dict(params)),
+                            seed=workload_seed,
+                            serve={"n_clients": n, "mode": mode, "stagger": int(stagger)},
+                            shards=shards,
+                        )
+                    )
+    return cells
+
+
+def shards_k_of(spec: Mapping[str, Any]) -> int:
+    """The shard-count column a shards cell-spec dict sweeps."""
+    return int(spec["shards"]["n_shards"])
+
+
+def shards_partition_of(spec: Mapping[str, Any]) -> str:
+    """The partitioning scheme a shards cell-spec dict sweeps."""
+    return str(spec["shards"]["partition"])
 
 
 def tiers_path_of(spec: Mapping[str, Any]) -> str:

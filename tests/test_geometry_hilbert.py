@@ -24,6 +24,63 @@ class TestRoundtrip:
         assert hilbert_decode(value, dims=2, bits=8) == coords
 
 
+class TestRoundtripAnyPrecision:
+    """Bijectivity as a property over the whole (dims, bits) lattice.
+
+    The fixed-precision round-trips above pin the common configurations;
+    these shrink over precision too, so a transform bug that only bites
+    at odd bit widths (the Skilling loops run ``bits - 1`` times) still
+    falls to the smallest failing example.
+    """
+
+    @given(st.integers(2, 3), st.integers(1, 6), st.integers(0, 2**18 - 1))
+    def test_decode_encode_identity(self, dims, bits, seed):
+        value = seed % (1 << (dims * bits))
+        coords = hilbert_decode(value, dims=dims, bits=bits)
+        assert all(0 <= c < (1 << bits) for c in coords)
+        assert hilbert_encode(coords, bits=bits) == value
+
+    @given(st.integers(2, 3), st.integers(1, 6), st.integers(0, 2**18 - 1))
+    def test_encode_decode_identity(self, dims, bits, seed):
+        coords = tuple((seed >> (axis * bits)) % (1 << bits) for axis in range(dims))
+        value = hilbert_encode(coords, bits=bits)
+        assert 0 <= value < (1 << (dims * bits))
+        assert hilbert_decode(value, dims=dims, bits=bits) == coords
+
+
+class TestLocalityMonotonicity:
+    """Curve distance bounds grid distance, monotonically in the step.
+
+    Each unit step along the curve moves exactly one grid cell, so by
+    the triangle inequality ``d`` curve steps can move at most ``d``
+    cells of Manhattan distance -- the locality guarantee the sharded
+    cache's range partitioning (DESIGN.md §10) and the Hilbert-Prefetch
+    baseline both lean on.  Property-tested so the bound holds from
+    adjacent values out to long strides, not just for neighbors.
+    """
+
+    @given(st.integers(0, 2**8 - 2), st.integers(1, 64))
+    def test_2d_curve_distance_bounds_manhattan_distance(self, value, step):
+        step = min(step, 2**8 - 1 - value)
+        a = np.array(hilbert_decode(value, dims=2, bits=4))
+        b = np.array(hilbert_decode(value + step, dims=2, bits=4))
+        assert np.abs(b - a).sum() <= step
+
+    @given(st.integers(0, 2**9 - 2), st.integers(1, 64))
+    def test_3d_curve_distance_bounds_manhattan_distance(self, value, step):
+        step = min(step, 2**9 - 1 - value)
+        a = np.array(hilbert_decode(value, dims=3, bits=3))
+        b = np.array(hilbert_decode(value + step, dims=3, bits=3))
+        assert np.abs(b - a).sum() <= step
+
+    @given(st.integers(2, 3), st.integers(2, 5), st.integers(0, 2**15 - 2))
+    def test_unit_steps_move_exactly_one_cell(self, dims, bits, seed):
+        value = seed % ((1 << (dims * bits)) - 1)
+        a = np.array(hilbert_decode(value, dims=dims, bits=bits))
+        b = np.array(hilbert_decode(value + 1, dims=dims, bits=bits))
+        assert np.abs(b - a).sum() == 1
+
+
 class TestCurveStructure:
     def test_visits_every_cell_exactly_once_2d(self):
         seen = {hilbert_decode(v, dims=2, bits=3) for v in range(64)}

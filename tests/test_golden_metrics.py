@@ -99,6 +99,29 @@ def golden_cells() -> dict[str, CellSpec]:
             serve={"n_clients": 3, "mode": "hotspot", "stagger": 1, "hot_pool": 1},
             storage={"miss_path": "combined", "tier_pages": 8},
         ),
+        # The clients cell a third time, served through an *active*
+        # sharded cache (4 Hilbert-partitioned shards with the hot-shard
+        # rebalancer armed), freezing the routing-side accounting --
+        # per-shard request/hit partitions, rebalance events, moved
+        # pages -- alongside the ordinary serving metric set.  The
+        # disabled (K=1) configuration needs no fixture of its own: the
+        # differential suite (test_sharded_cache.py) proves it op-by-op
+        # identical to the bare cache, so the other fixtures pin it.
+        "shards": CellSpec(
+            dataset=DatasetSpec("neuron", {"n_neurons": 6, "seed": 7}),
+            index=IndexSpec("flat", {"fanout": 16}),
+            workload=WorkloadSpec(n_sequences=3, n_queries=4, volume=30_000.0),
+            prefetcher=PrefetcherSpec("ewma", {"lam": 0.3}),
+            seed=21,
+            sim={"cache_capacity_pages": 8},
+            serve={"n_clients": 3, "mode": "hotspot", "stagger": 1, "hot_pool": 1},
+            shards={
+                "n_shards": 4,
+                "partition": "hilbert",
+                "rebalance": True,
+                "rebalance_interval": 4,
+            },
+        ),
     }
 
 
@@ -179,6 +202,15 @@ def compute_serving_metrics(spec: CellSpec) -> dict:
             miss_path_hits=int(report.miss_path_hits),
             tier_fills=int(report.tier_fills),
             tier_stall_seconds=float(report.tier_stall_seconds),
+        )
+    if report.shards_active:
+        # Routing-side keys only when the cell shards the cache (K > 1),
+        # for the same byte-identity reason.
+        metric_set.update(
+            shard_requests=[int(v) for v in report.shard_requests],
+            shard_hits=[int(v) for v in report.shard_hits],
+            shard_rebalances=int(report.shard_rebalances),
+            shard_pages_moved=int(report.shard_pages_moved),
         )
     return metric_set
 

@@ -181,12 +181,21 @@ class TestReportAndBudget:
             "fault_layer_overhead",
             "serving_daemon_qps",
             "storage_tiers_overhead",
+            "sharded_routing_overhead",
+            "sharded_hot_qps",
         }
         assert 0.0 < budget["tolerance"] < 1.0
-        for ratio_gate in ("fault_layer_overhead", "storage_tiers_overhead"):
+        for ratio_gate in (
+            "fault_layer_overhead",
+            "storage_tiers_overhead",
+            "sharded_routing_overhead",
+        ):
             overhead = budget["floors"][ratio_gate]
             assert 0.9 < overhead["floor"] <= 1.0
             assert 0.0 < overhead["tolerance"] < budget["tolerance"]
+        hot = budget["floors"]["sharded_hot_qps"]
+        assert hot["floor"] > 0
+        assert 0.0 < hot["tolerance"] < budget["tolerance"]
 
 
 class TestSweepProfileFlag:

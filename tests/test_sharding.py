@@ -4,13 +4,17 @@ The contract under test: spec-hash sharding partitions any cell grid
 into disjoint slices whose union is the whole grid, independent shard
 sweeps followed by ``merge_stores`` reproduce a single-process run's
 per-cell payloads exactly, merging is idempotent, and the async writer
-persists everything the synchronous path would.
+persists everything the synchronous path would.  ``TestSliceOf``
+additionally pins that both keyed-stream splitters in the repo -- the
+result store's ``shard_of`` and the sharded cache's ``hash``
+partitioner -- are the one documented rule :func:`repro.util.slice_of`.
 """
 
 from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.sim import (
@@ -82,6 +86,47 @@ class TestShardAssignment:
         foreign = next(c for c in cells if not store.owns(c.key()))
         with pytest.raises(ValueError, match="belongs to shard"):
             store.append(run_cell(foreign))
+
+
+class TestSliceOf:
+    """Both keyed-stream splitters stay pinned to ``repro.util.slice_of``.
+
+    Changing the assignment rule in one call site but not the other
+    would silently orphan persisted shard stores or reshuffle cache
+    partitions; this class fails first.
+    """
+
+    def test_result_store_shard_of_is_slice_of(self):
+        from repro.util import slice_of
+
+        for key in (c.key() for c in MATRIX.cells()):
+            for n_shards in (1, 2, 3, 7):
+                assert shard_of(key, n_shards) == int(
+                    slice_of(int(key[:16], 16), n_shards)
+                )
+
+    def test_hash_partitioner_is_slice_of(self):
+        from repro.storage.cache import make_cache
+        from repro.storage.sharded import ShardedCache, ShardSpec
+        from repro.util import slice_of
+
+        k = 4
+        cache = ShardedCache(
+            ShardSpec(n_shards=k, partition="hash"),
+            [make_cache("dict", 4) for _ in range(k)],
+        )
+        pages = np.arange(64, dtype=np.int64)
+        assert np.array_equal(cache.route_many(pages), slice_of(pages, k))
+        for page in pages:
+            assert cache.route(int(page)) == int(slice_of(int(page), k))
+
+    def test_slice_of_validates_and_broadcasts(self):
+        from repro.util import slice_of
+
+        with pytest.raises(ValueError, match="n_slices"):
+            slice_of(3, 0)
+        routed = slice_of(np.array([0, 5, 13], dtype=np.int64), 4)
+        assert routed.tolist() == [0, 1, 1]
 
 
 class TestShardedSweepMerge:
